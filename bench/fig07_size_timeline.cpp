@@ -1,0 +1,79 @@
+// Figure 7: compressed block size over consecutive writes for three
+// representative hot blocks of bzip2 (volatile) and hmmer (stable).
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "compression/best_of.hpp"
+#include "workload/trace.hpp"
+
+using namespace pcmsim;
+
+namespace {
+
+void trace_app(const std::string& name, int samples, std::uint64_t seed, bool csv) {
+  const AppProfile& app = profile_by_name(name);
+  TraceGenerator gen(app, 1 << 12, seed);
+  BestOfCompressor best;
+
+  // Warm up to find three hot blocks.
+  std::map<LineAddr, int> heat;
+  for (int i = 0; i < 30000; ++i) ++heat[gen.next().line];
+  std::vector<std::pair<int, LineAddr>> ranked;
+  for (const auto& [line, count] : heat) ranked.emplace_back(count, line);
+  std::sort(ranked.rbegin(), ranked.rend());
+  // Follow the hottest *compressible* blocks (the paper plots representative
+  // blocks, and an incompressible one would be a flat 64-byte line).
+  std::vector<LineAddr> blocks;
+  for (const auto& [count, line] : ranked) {
+    if (best.compress(gen.current_value(line)).has_value()) blocks.push_back(line);
+    if (blocks.size() == 3) break;
+  }
+
+  std::map<LineAddr, std::vector<std::size_t>> sizes;
+  while (true) {
+    const auto ev = gen.next();
+    auto it = sizes.find(ev.line);
+    if (std::find(blocks.begin(), blocks.end(), ev.line) == blocks.end()) continue;
+    const auto c = best.compress(ev.data);
+    sizes[ev.line].push_back(c ? c->size_bytes() : kBlockBytes);
+    bool done = sizes.size() == 3;
+    for (const auto& [_, v] : sizes) done = done && v.size() >= static_cast<std::size_t>(samples);
+    if (done) break;
+    (void)it;
+  }
+
+  TablePrinter table({"write#", "block1_B", "block2_B", "block3_B"});
+  for (int i = 0; i < samples; ++i) {
+    table.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(i)),
+                   TablePrinter::fmt(static_cast<std::uint64_t>(sizes[blocks[0]][static_cast<std::size_t>(i)])),
+                   TablePrinter::fmt(static_cast<std::uint64_t>(sizes[blocks[1]][static_cast<std::size_t>(i)])),
+                   TablePrinter::fmt(static_cast<std::uint64_t>(sizes[blocks[2]][static_cast<std::size_t>(i)]))});
+  }
+  if (csv) {
+    std::cout << name << "\n";
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout, "Figure 7 (" + name + ") — compressed size of 3 hot blocks over "
+                                                 "consecutive writes");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto samples = static_cast<int>(args.get_int("writes", 40));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const bool csv = args.get_bool("csv");
+  trace_app("bzip2", samples, seed, csv);
+  trace_app("hmmer", samples, seed, csv);
+  if (!csv) {
+    std::cout << "Paper: bzip2 block sizes swing across most of 0..64B; hmmer stays nearly "
+                 "flat.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the compression substrate: the
+// memory controller runs BDI and FPC in parallel on every write-back, so
+// their software-model throughput bounds the lifetime simulator's speed.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "compression/best_of.hpp"
+#include "workload/value_model.hpp"
+
+namespace pcmsim {
+namespace {
+
+std::vector<Block> make_corpus(ValueClass cls, std::uint8_t param) {
+  ValueClassSpec spec;
+  spec.cls = cls;
+  spec.param_lo = spec.param_hi = param;
+  spec.aux = 2;
+  std::vector<Block> blocks;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    blocks.push_back(generate_value(spec, i, 12345, i % 7));
+  }
+  return blocks;
+}
+
+void BM_BdiCompress(benchmark::State& state) {
+  const auto corpus = make_corpus(ValueClass::kNarrowInt64, 2);
+  BdiCompressor c;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.compress(corpus[i++ % corpus.size()]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BdiCompress);
+
+void BM_FpcCompress(benchmark::State& state) {
+  const auto corpus = make_corpus(ValueClass::kFpcMixed, 6);
+  FpcCompressor c;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.compress(corpus[i++ % corpus.size()]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_FpcCompress);
+
+void BM_BestOfCompress(benchmark::State& state) {
+  const auto cls = static_cast<ValueClass>(state.range(0));
+  const auto corpus = make_corpus(cls, cls == ValueClass::kFpcMixed ? 6 : 2);
+  BestOfCompressor c;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.compress(corpus[i++ % corpus.size()]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BestOfCompress)
+    ->Arg(static_cast<int>(ValueClass::kZeroPage))
+    ->Arg(static_cast<int>(ValueClass::kNarrowInt64))
+    ->Arg(static_cast<int>(ValueClass::kFpcMixed))
+    ->Arg(static_cast<int>(ValueClass::kRandom));
+
+void BM_BdiDecompress(benchmark::State& state) {
+  const auto corpus = make_corpus(ValueClass::kNarrowInt64, 2);
+  BdiCompressor c;
+  std::vector<CompressedBlock> images;
+  for (const auto& b : corpus) {
+    if (auto r = c.compress(b)) images.push_back(std::move(*r));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.decompress(images[i++ % images.size()]));
+  }
+}
+BENCHMARK(BM_BdiDecompress);
+
+void BM_FpcDecompress(benchmark::State& state) {
+  const auto corpus = make_corpus(ValueClass::kFpcMixed, 8);
+  FpcCompressor c;
+  std::vector<CompressedBlock> images;
+  for (const auto& b : corpus) {
+    if (auto r = c.compress(b)) images.push_back(std::move(*r));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.decompress(images[i++ % images.size()]));
+  }
+}
+BENCHMARK(BM_FpcDecompress);
+
+}  // namespace
+}  // namespace pcmsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks for the hard-error schemes' tolerance
+// checks and encode paths — the hot operations of window placement.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "ecc/aegis.hpp"
+#include "ecc/ecp.hpp"
+#include "ecc/safer.hpp"
+
+namespace pcmsim {
+namespace {
+
+std::vector<std::vector<FaultCell>> fault_sets(std::size_t nfaults, std::size_t count) {
+  Rng rng(nfaults * 7 + 3);
+  std::vector<std::vector<FaultCell>> sets;
+  std::vector<std::uint16_t> pos(kBlockBits);
+  std::iota(pos.begin(), pos.end(), std::uint16_t{0});
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<FaultCell> f;
+    for (std::size_t i = 0; i < nfaults; ++i) {
+      const std::size_t j = i + rng.next_below(kBlockBits - i);
+      std::swap(pos[i], pos[j]);
+      f.push_back(FaultCell{pos[i], rng.next_bool(0.5)});
+    }
+    std::sort(f.begin(), f.end(),
+              [](const FaultCell& a, const FaultCell& b) { return a.pos < b.pos; });
+    sets.push_back(std::move(f));
+  }
+  return sets;
+}
+
+template <typename Scheme>
+void run_can_tolerate(benchmark::State& state, Scheme&& scheme) {
+  const auto sets = fault_sets(static_cast<std::size_t>(state.range(0)), 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.can_tolerate(sets[i++ % sets.size()], kBlockBits));
+  }
+}
+
+void BM_EcpCanTolerate(benchmark::State& state) { run_can_tolerate(state, EcpScheme(6)); }
+BENCHMARK(BM_EcpCanTolerate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SaferCanTolerate(benchmark::State& state) { run_can_tolerate(state, SaferScheme(32)); }
+BENCHMARK(BM_SaferCanTolerate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SaferIdealCanTolerate(benchmark::State& state) {
+  run_can_tolerate(state, SaferScheme(32, SaferScheme::Strategy::kExhaustive));
+}
+BENCHMARK(BM_SaferIdealCanTolerate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AegisCanTolerate(benchmark::State& state) {
+  run_can_tolerate(state, AegisScheme(17, 31));
+}
+BENCHMARK(BM_AegisCanTolerate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EcpEncode(benchmark::State& state) {
+  EcpScheme ecp(6);
+  const auto sets = fault_sets(5, 64);
+  Rng rng(9);
+  std::vector<std::uint8_t> data(kBlockBytes);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecp.encode(data, kBlockBits, sets[i++ % sets.size()]));
+  }
+}
+BENCHMARK(BM_EcpEncode);
+
+void BM_AegisEncode(benchmark::State& state) {
+  AegisScheme aegis(17, 31);
+  const auto sets = fault_sets(10, 64);
+  Rng rng(9);
+  std::vector<std::uint8_t> data(kBlockBytes);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aegis.encode(data, kBlockBits, sets[i++ % sets.size()]));
+  }
+}
+BENCHMARK(BM_AegisEncode);
+
+}  // namespace
+}  // namespace pcmsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Quickstart: the full proposed pipeline on one memory line.
+//
+//   1. compress a 64-byte write-back with the best of BDI/FPC,
+//   2. store it in a compression window of a simulated PCM line,
+//   3. wear the line out until cells stick,
+//   4. watch the window slide around the faults and the data stay intact.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstring>
+#include <iostream>
+
+#include "core/system.hpp"
+
+using namespace pcmsim;
+
+int main() {
+  // A small Comp+WF system in functional-verify mode: every write goes
+  // through the real ECP-6 encoder and reads are decoded + decompressed.
+  SystemConfig cfg;
+  cfg.mode = SystemMode::kCompWF;
+  cfg.device.lines = 16;
+  cfg.device.endurance_mean = 150;  // tiny endurance so wear-out is visible
+  cfg.device.endurance_cov = 0.15;
+  cfg.functional_verify = true;
+  PcmSystem system(cfg);
+
+  // A compressible payload: a counter array (BDI-friendly narrow deltas).
+  Block data{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t v = 0x1000'0000ull + i;
+    std::memcpy(data.data() + i * 8, &v, 8);
+  }
+
+  std::cout << "Writing the same logical line until the PCM cells wear out...\n\n";
+  LineAddr line = 3;
+  std::uint64_t writes = 0;
+  std::uint8_t last_start = 255;
+  while (writes < 100000) {
+    // Mutate one value so differential writes have something to do.
+    std::uint64_t v;
+    std::memcpy(&v, data.data() + 8, 8);
+    ++v;
+    std::memcpy(data.data() + 8, &v, 8);
+
+    const auto out = system.write(line, data);
+    ++writes;
+    if (!out.stored) {
+      std::cout << "write " << writes << ": line is dead (no window fits)\n";
+      break;
+    }
+    if (out.start_byte != last_start) {
+      const auto physical = system.physical_of(line);
+      std::cout << "write " << writes << ": window at byte " << int(out.start_byte)
+                << " (size " << int(out.size_bytes) << "B, "
+                << (out.compressed ? "compressed" : "raw") << "), stuck cells in line: "
+                << system.array().count_stuck(physical, 0, kBlockBits) << "\n";
+      last_start = out.start_byte;
+    }
+    // Functional mode guarantee: the data reads back exactly, faults and all.
+    if (system.read(line) != data) {
+      std::cout << "DATA CORRUPTION at write " << writes << "\n";
+      return 1;
+    }
+  }
+
+  const auto& st = system.stats();
+  std::cout << "\nTotals: " << st.writes << " writes, "
+            << st.compressed_writes << " compressed, "
+            << st.window_slides << " window slides, "
+            << system.array().total_faults() << " worn-out cells, "
+            << "mean flips/write " << st.flips_per_write.mean() << "\n";
+  std::cout << "Every read returned the exact written data despite "
+            << system.array().total_faults() << " stuck cells - that is the paper's "
+            << "collaborative compression + error-tolerance mechanism at work.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+CacheLevel::CacheLevel(std::string name, std::size_t size_bytes, std::size_t assoc)
+    : name_(std::move(name)), sets_(size_bytes / kBlockBytes / assoc), assoc_(assoc) {
+  expects(assoc >= 1, "associativity must be at least 1");
+  expects(sets_ >= 1, "cache must have at least one set");
+  expects(std::has_single_bit(sets_), "set count must be a power of two");
+  ways_.resize(sets_ * assoc_);
+}
+
+std::size_t CacheLevel::set_of(LineAddr line) const {
+  // Hash the index bits so folded synthetic regions spread over all sets.
+  return static_cast<std::size_t>(mix64(line) & (sets_ - 1));
+}
+
+CacheLevel::AccessResult CacheLevel::access(LineAddr line, bool is_store,
+                                            const Block* store_data, const Block& fill) {
+  AccessResult result;
+  const std::size_t base = set_of(line) * assoc_;
+  ++tick_;
+
+  Way* victim = nullptr;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) {
+      ++hits_;
+      way.lru = tick_;
+      if (is_store) {
+        expects(store_data != nullptr, "store access requires data");
+        way.data = *store_data;
+        way.dirty = true;
+      }
+      result.hit = true;
+      return result;
+    }
+    // Victim preference: any invalid way, else the least recently used.
+    if (victim == nullptr || (victim->valid && (!way.valid || way.lru < victim->lru))) {
+      victim = &way;
+    }
+  }
+
+  ++misses_;
+  if (victim->valid) {
+    result.evicted = victim->tag;
+    if (victim->dirty) {
+      ++writebacks_;
+      result.writeback = Writeback{victim->tag, victim->data};
+    }
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = tick_;
+  victim->data = fill;
+  victim->dirty = false;
+  if (is_store) {
+    expects(store_data != nullptr, "store access requires data");
+    victim->data = *store_data;
+    victim->dirty = true;
+  }
+  return result;
+}
+
+bool CacheLevel::contains(LineAddr line) const {
+  const std::size_t base = set_of(line) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) return true;
+  }
+  return false;
+}
+
+const Block* CacheLevel::peek(LineAddr line) const {
+  const std::size_t base = set_of(line) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) return &way.data;
+  }
+  return nullptr;
+}
+
+std::optional<Writeback> CacheLevel::invalidate(LineAddr line) {
+  const std::size_t base = set_of(line) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) {
+      way.valid = false;
+      if (way.dirty) {
+        way.dirty = false;
+        return Writeback{way.tag, way.data};
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,78 @@
+// Set-associative write-back cache model with LRU replacement.
+//
+// Substitute for the paper's gem5/Ruby memory hierarchy (Table II): its job
+// is to filter the cores' load/store streams into the LLC write-back traffic
+// (with 64-byte data payloads) that drives the PCM lifetime analysis. Data
+// contents are tracked so the write-backs carry real values to compress.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// A dirty line evicted from a cache level.
+struct Writeback {
+  LineAddr line = 0;
+  Block data{};
+};
+
+class CacheLevel {
+ public:
+  /// `size_bytes` total capacity; `assoc` ways; 64-byte lines.
+  CacheLevel(std::string name, std::size_t size_bytes, std::size_t assoc);
+
+  struct AccessResult {
+    bool hit = false;
+    std::optional<LineAddr> evicted;     ///< any valid victim that was replaced
+    std::optional<Writeback> writeback;  ///< its data, when the victim was dirty
+  };
+
+  /// Looks up `line`; on miss, installs it with `fill` content. On a store,
+  /// the line's content is replaced by `store_data` and marked dirty.
+  AccessResult access(LineAddr line, bool is_store, const Block* store_data, const Block& fill);
+
+  /// Probe without side effects.
+  [[nodiscard]] bool contains(LineAddr line) const;
+  /// Current content of a resident line (nullptr if absent).
+  [[nodiscard]] const Block* peek(LineAddr line) const;
+
+  /// Invalidates a resident line, returning it if dirty (back-invalidation).
+  std::optional<Writeback> invalidate(LineAddr line);
+
+  /// Zeroes hit/miss/writeback counters (content stays warm).
+  void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+  [[nodiscard]] std::size_t assoc() const { return assoc_; }
+
+ private:
+  struct Way {
+    LineAddr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+    Block data{};
+  };
+
+  [[nodiscard]] std::size_t set_of(LineAddr line) const;
+
+  std::string name_;
+  std::size_t sets_;
+  std::size_t assoc_;
+  std::vector<Way> ways_;  // sets_ x assoc_, row-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace pcmsim

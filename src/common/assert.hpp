@@ -1,0 +1,39 @@
+// Lightweight contract checks used across pcmsim.
+//
+// Following the C++ Core Guidelines (I.6/I.8), preconditions and invariants
+// are expressed as named check functions rather than raw assert() so that the
+// failure message carries the call site and stays active in release builds
+// (simulation correctness matters more than the nanoseconds saved).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pcmsim {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition check: throws ContractViolation when `cond` is false.
+inline void expects(bool cond, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw ContractViolation(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": precondition failed: " + what);
+  }
+}
+
+/// Invariant/postcondition check: throws ContractViolation when `cond` is false.
+inline void ensures(bool cond, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw ContractViolation(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": invariant failed: " + what);
+  }
+}
+
+}  // namespace pcmsim

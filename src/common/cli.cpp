@@ -1,0 +1,58 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace pcmsim {
+
+namespace {
+
+bool looks_like_key(const std::string& s) { return s.rfind("--", 0) == 0 && s.size() > 2; }
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!looks_like_key(tok)) {
+      throw std::invalid_argument("unexpected argument: " + tok);
+    }
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a key; else a bare flag.
+    if (i + 1 < argc && !looks_like_key(argv[i + 1])) {
+      kv_[tok] = argv[++i];
+    } else {
+      kv_[tok] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string CliArgs::get(const std::string& key, const std::string& dflt) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t dflt) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& key, double dflt) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return it->second.empty() || it->second == "1" || it->second == "true";
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,37 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace pcmsim {
+
+double Rng::next_normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::acos(-1.0) * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::next_lognormal_mean_cov(double mean, double cov) {
+  expects(mean > 0.0, "lognormal mean must be positive");
+  expects(cov >= 0.0, "lognormal cov must be non-negative");
+  if (cov == 0.0) return mean;
+  // For lognormal with parameters (mu, sigma):
+  //   E[X]   = exp(mu + sigma^2/2)
+  //   CoV^2  = exp(sigma^2) - 1
+  const double sigma2 = std::log1p(cov * cov);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(next_normal(mu, std::sqrt(sigma2)));
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,103 @@
+// Deterministic, fast random number generation for simulation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. All simulation
+// randomness flows through Rng so runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mixing hash (useful for per-address deterministic noise).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    expects(bound > 0, "next_below requires bound > 0");
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  [[nodiscard]] double next_normal();
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double next_normal(double mean, double stddev) {
+    return mean + stddev * next_normal();
+  }
+
+  /// Lognormal such that the *resulting* distribution has the given mean and
+  /// coefficient of variation (stddev/mean). Used for PCM endurance sampling.
+  [[nodiscard]] double next_lognormal_mean_cov(double mean, double cov);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pcmsim

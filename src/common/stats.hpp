@@ -1,0 +1,81 @@
+// Streaming statistics accumulators and histograms for simulator metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pcmsim {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples clamp to
+/// the edge buckets so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies (linear within bucket).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Cumulative fraction of samples with value <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact empirical CDF helper for modest sample counts (used for Fig 11).
+class EmpiricalCdf {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+  /// q-quantile of the sample set, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::fmt(std::uint64_t v) { return std::to_string(v); }
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::size_t total = widths.size() * 3 + 1;
+  for (auto w : widths) total += w;
+
+  os << "\n" << title << "\n" << std::string(std::max(total, title.size()), '-') << "\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << std::string(total, '-') << "\n";
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace pcmsim

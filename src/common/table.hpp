@@ -1,0 +1,38 @@
+// Plain-text and CSV table rendering for the benchmark harness output.
+//
+// Every figure/table bench prints its rows through TablePrinter so the
+// regenerated results look uniform and are machine-parseable with --csv.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcmsim {
+
+/// Collects rows of stringly-typed cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+
+  /// Renders an ASCII table with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcmsim

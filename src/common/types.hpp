@@ -1,0 +1,89 @@
+// Fundamental value types shared by every pcmsim module.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace pcmsim {
+
+/// Size of a memory line / LLC block in bytes (fixed at 64 B, as in the paper).
+inline constexpr std::size_t kBlockBytes = 64;
+/// Size of a memory line in bits (512).
+inline constexpr std::size_t kBlockBits = kBlockBytes * 8;
+/// Extra per-line storage provided by the ninth (ECC) chip of an ECC-DIMM.
+inline constexpr std::size_t kEccBits = 64;
+
+/// Physical or logical line address (line granularity, not byte granularity).
+using LineAddr = std::uint64_t;
+
+/// A 64-byte data block as handed between LLC, memory controller and PCM.
+using Block = std::array<std::uint8_t, kBlockBytes>;
+
+/// Returns an all-zero block.
+[[nodiscard]] constexpr Block zero_block() { return Block{}; }
+
+/// Reads a little-endian unsigned value of Width bytes at byte offset `off`.
+template <typename T>
+[[nodiscard]] inline T load_le(std::span<const std::uint8_t> bytes, std::size_t off) {
+  T v{};
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;  // host is little-endian on every supported platform
+}
+
+/// Writes a little-endian unsigned value at byte offset `off`.
+template <typename T>
+inline void store_le(std::span<std::uint8_t> bytes, std::size_t off, T v) {
+  std::memcpy(bytes.data() + off, &v, sizeof(T));
+}
+
+/// Number of differing bits between two equally sized byte ranges.
+[[nodiscard]] inline std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                                                  std::span<const std::uint8_t> b) {
+  std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  std::size_t d = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x;
+    std::uint64_t y;
+    std::memcpy(&x, a.data() + i, 8);
+    std::memcpy(&y, b.data() + i, 8);
+    d += static_cast<std::size_t>(std::popcount(x ^ y));
+  }
+  for (; i < n; ++i) {
+    d += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  return d;
+}
+
+/// Number of differing bits between two blocks.
+[[nodiscard]] inline std::size_t hamming_distance(const Block& a, const Block& b) {
+  return hamming_distance(std::span<const std::uint8_t>(a), std::span<const std::uint8_t>(b));
+}
+
+/// Total set bits in a byte range.
+[[nodiscard]] inline std::size_t popcount(std::span<const std::uint8_t> a) {
+  std::size_t d = 0;
+  for (auto byte : a) d += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(byte)));
+  return d;
+}
+
+/// Extracts bit `i` (LSB-first within each byte) from a byte range.
+[[nodiscard]] inline bool get_bit(std::span<const std::uint8_t> bytes, std::size_t i) {
+  return (bytes[i / 8] >> (i % 8)) & 1u;
+}
+
+/// Sets bit `i` (LSB-first within each byte) in a byte range.
+inline void set_bit(std::span<std::uint8_t> bytes, std::size_t i, bool v) {
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i % 8));
+  if (v) {
+    bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] | mask);
+  } else {
+    bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] & ~mask);
+  }
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,35 @@
+// Zipfian sampling over a finite universe, used to model hot/cold memory
+// line popularity in the synthetic workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to 1 / (k+1)^theta.
+///
+/// Uses a precomputed CDF with binary search; construction is O(n), sampling
+/// O(log n). theta = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  /// Draws one rank (0 is the most popular).
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t universe() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+  /// Probability mass of a single rank.
+  [[nodiscard]] double pmf(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,201 @@
+#include "compression/bdi.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+namespace {
+
+struct Geometry {
+  std::size_t base_bytes;
+  std::size_t delta_bytes;
+};
+
+/// Base/delta geometry for the parameterized layouts; zeros/rep handled apart.
+Geometry geometry_of(BdiLayout layout) {
+  switch (layout) {
+    case BdiLayout::kB8D1: return {8, 1};
+    case BdiLayout::kB8D2: return {8, 2};
+    case BdiLayout::kB8D4: return {8, 4};
+    case BdiLayout::kB4D1: return {4, 1};
+    case BdiLayout::kB4D2: return {4, 2};
+    case BdiLayout::kB2D1: return {2, 1};
+    default: break;
+  }
+  expects(false, "layout has no base/delta geometry");
+  return {};
+}
+
+/// Sign-extends the low `bytes` bytes of v.
+std::int64_t sign_extend(std::uint64_t v, std::size_t bytes) {
+  const unsigned bits = static_cast<unsigned>(bytes * 8);
+  if (bits >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t x = v & mask;
+  const std::uint64_t sign = 1ull << (bits - 1);
+  if (x & sign) x |= ~mask;
+  return static_cast<std::int64_t>(x);
+}
+
+/// True when `delta` survives truncation to `bytes` bytes and sign extension.
+bool fits_signed(std::int64_t delta, std::size_t bytes) {
+  if (bytes >= 8) return true;
+  const std::int64_t lo = -(1ll << (bytes * 8 - 1));
+  const std::int64_t hi = (1ll << (bytes * 8 - 1)) - 1;
+  return delta >= lo && delta <= hi;
+}
+
+/// Loads word `i` of `base_bytes` bytes as an unsigned value.
+std::uint64_t load_word(const Block& block, std::size_t i, std::size_t base_bytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, block.data() + i * base_bytes, base_bytes);
+  return v;
+}
+
+void store_word(Block& block, std::size_t i, std::size_t base_bytes, std::uint64_t v) {
+  std::memcpy(block.data() + i * base_bytes, &v, base_bytes);
+}
+
+}  // namespace
+
+std::string_view to_string(BdiLayout layout) {
+  switch (layout) {
+    case BdiLayout::kZeros: return "zeros";
+    case BdiLayout::kRep8: return "rep8";
+    case BdiLayout::kB8D1: return "b8d1";
+    case BdiLayout::kB8D2: return "b8d2";
+    case BdiLayout::kB8D4: return "b8d4";
+    case BdiLayout::kB4D1: return "b4d1";
+    case BdiLayout::kB4D2: return "b4d2";
+    case BdiLayout::kB2D1: return "b2d1";
+  }
+  return "?";
+}
+
+std::size_t bdi_layout_size(BdiLayout layout) {
+  switch (layout) {
+    case BdiLayout::kZeros: return 1;
+    case BdiLayout::kRep8: return 8;
+    default: break;
+  }
+  const auto [k, d] = geometry_of(layout);
+  const std::size_t n = kBlockBytes / k;
+  return k + n * d + (n + 7) / 8;  // base + deltas + base-selector mask
+}
+
+std::optional<CompressedBlock> BdiCompressor::compress_with_layout(const Block& block,
+                                                                   BdiLayout layout) const {
+  CompressedBlock out;
+  out.scheme = CompressionScheme::kBdi;
+  out.encoding = static_cast<std::uint8_t>(layout);
+
+  if (layout == BdiLayout::kZeros) {
+    for (auto b : block) {
+      if (b != 0) return std::nullopt;
+    }
+    out.bytes.assign(1, 0);
+    return out;
+  }
+
+  if (layout == BdiLayout::kRep8) {
+    const std::uint64_t first = load_word(block, 0, 8);
+    for (std::size_t i = 1; i < kBlockBytes / 8; ++i) {
+      if (load_word(block, i, 8) != first) return std::nullopt;
+    }
+    out.bytes.resize(8);
+    std::memcpy(out.bytes.data(), &first, 8);
+    return out;
+  }
+
+  const auto [k, d] = geometry_of(layout);
+  const std::size_t n = kBlockBytes / k;
+
+  // Pass 1: find the explicit base — the first word too large for the zero
+  // base — then check every word fits one of the two bases.
+  bool have_base = false;
+  std::uint64_t base = 0;
+  std::vector<std::int64_t> deltas(n);
+  std::vector<bool> uses_base(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto word = static_cast<std::int64_t>(sign_extend(load_word(block, i, k), k));
+    if (fits_signed(word, d)) {
+      deltas[i] = word;  // zero base
+      continue;
+    }
+    if (!have_base) {
+      have_base = true;
+      base = load_word(block, i, k);
+    }
+    const auto delta =
+        word - static_cast<std::int64_t>(sign_extend(base, k));
+    if (!fits_signed(delta, d)) return std::nullopt;
+    deltas[i] = delta;
+    uses_base[i] = true;
+  }
+
+  out.bytes.assign(bdi_layout_size(layout), 0);
+  std::memcpy(out.bytes.data(), &base, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto raw = static_cast<std::uint64_t>(deltas[i]);
+    std::memcpy(out.bytes.data() + k + i * d, &raw, d);
+  }
+  std::uint8_t* mask = out.bytes.data() + k + n * d;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (uses_base[i]) mask[i / 8] = static_cast<std::uint8_t>(mask[i / 8] | (1u << (i % 8)));
+  }
+  return out;
+}
+
+std::optional<CompressedBlock> BdiCompressor::compress(const Block& block) const {
+  // Try layouts in increasing image size so the first hit is the best.
+  static constexpr BdiLayout kOrder[] = {
+      BdiLayout::kZeros, BdiLayout::kRep8, BdiLayout::kB8D1, BdiLayout::kB4D1,
+      BdiLayout::kB8D2,  BdiLayout::kB2D1, BdiLayout::kB4D2, BdiLayout::kB8D4,
+  };
+  std::optional<CompressedBlock> best;
+  for (auto layout : kOrder) {
+    auto candidate = compress_with_layout(block, layout);
+    if (candidate && (!best || candidate->size_bytes() < best->size_bytes())) {
+      best = std::move(candidate);
+    }
+  }
+  if (best && best->size_bytes() >= kBlockBytes) return std::nullopt;
+  return best;
+}
+
+Block BdiCompressor::decompress(const CompressedBlock& cb) const {
+  expects(cb.scheme == CompressionScheme::kBdi, "not a BDI image");
+  const auto layout = static_cast<BdiLayout>(cb.encoding);
+  expects(cb.bytes.size() == bdi_layout_size(layout), "BDI image size mismatch");
+  Block block{};
+
+  if (layout == BdiLayout::kZeros) return block;
+
+  if (layout == BdiLayout::kRep8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, cb.bytes.data(), 8);
+    for (std::size_t i = 0; i < kBlockBytes / 8; ++i) store_word(block, i, 8, word);
+    return block;
+  }
+
+  const auto [k, d] = geometry_of(layout);
+  const std::size_t n = kBlockBytes / k;
+  std::uint64_t base_raw = 0;
+  std::memcpy(&base_raw, cb.bytes.data(), k);
+  const std::int64_t base = sign_extend(base_raw, k);
+  const std::uint8_t* mask = cb.bytes.data() + k + n * d;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t delta_raw = 0;
+    std::memcpy(&delta_raw, cb.bytes.data() + k + i * d, d);
+    const std::int64_t delta = sign_extend(delta_raw, d);
+    const bool uses_base = (mask[i / 8] >> (i % 8)) & 1u;
+    const std::int64_t word = (uses_base ? base : 0) + delta;
+    store_word(block, i, k, static_cast<std::uint64_t>(word));
+  }
+  return block;
+}
+
+}  // namespace pcmsim

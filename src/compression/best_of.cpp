@@ -1,0 +1,45 @@
+#include "compression/best_of.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+std::uint8_t pack_encoding(CompressionScheme scheme, std::uint8_t layout) {
+  expects(layout < 8, "layout must fit 3 bits");
+  return static_cast<std::uint8_t>((static_cast<std::uint8_t>(scheme) << 3) | layout);
+}
+
+CompressionScheme unpack_scheme(std::uint8_t packed) {
+  return static_cast<CompressionScheme>((packed >> 3) & 0x3u);
+}
+
+std::uint8_t unpack_layout(std::uint8_t packed) { return packed & 0x7u; }
+
+std::optional<CompressedBlock> BestOfCompressor::compress(const Block& block) const {
+  auto a = bdi_.compress(block);
+  auto b = fpc_.compress(block);
+  if (!a) return b;
+  if (!b) return a;
+  return a->size_bytes() <= b->size_bytes() ? a : b;
+}
+
+Block BestOfCompressor::decompress(const CompressedBlock& cb) const {
+  switch (cb.scheme) {
+    case CompressionScheme::kBdi: return bdi_.decompress(cb);
+    case CompressionScheme::kFpc: return fpc_.decompress(cb);
+    case CompressionScheme::kNone: break;
+  }
+  expects(false, "cannot decompress a raw image");
+  return {};
+}
+
+std::uint32_t BestOfCompressor::latency_for(const CompressedBlock& cb) const {
+  switch (cb.scheme) {
+    case CompressionScheme::kBdi: return bdi_.decompression_latency_cycles();
+    case CompressionScheme::kFpc: return fpc_.decompression_latency_cycles();
+    case CompressionScheme::kNone: return 0;
+  }
+  return 0;
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,38 @@
+// The paper's "BEST" compressor: run BDI and FPC in parallel, store whichever
+// image is smaller (ties go to BDI for its 1-cycle decompression).
+#pragma once
+
+#include <memory>
+
+#include "compression/bdi.hpp"
+#include "compression/fpc.hpp"
+
+namespace pcmsim {
+
+/// Combined 5-bit encoding id carried in per-line metadata: bits [4:3] scheme,
+/// bits [2:0] scheme-specific layout. Section III-B budgets exactly 5 bits.
+[[nodiscard]] std::uint8_t pack_encoding(CompressionScheme scheme, std::uint8_t layout);
+[[nodiscard]] CompressionScheme unpack_scheme(std::uint8_t packed);
+[[nodiscard]] std::uint8_t unpack_layout(std::uint8_t packed);
+
+class BestOfCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::optional<CompressedBlock> compress(const Block& block) const override;
+  [[nodiscard]] Block decompress(const CompressedBlock& cb) const override;
+  [[nodiscard]] std::string_view name() const override { return "BEST(BDI,FPC)"; }
+
+  /// Worst-case read-path latency; per-block latency depends on the winner.
+  [[nodiscard]] std::uint32_t decompression_latency_cycles() const override { return 5; }
+
+  /// Latency for a specific image (1 cycle for BDI, 5 for FPC, 0 for raw).
+  [[nodiscard]] std::uint32_t latency_for(const CompressedBlock& cb) const;
+
+  [[nodiscard]] const BdiCompressor& bdi() const { return bdi_; }
+  [[nodiscard]] const FpcCompressor& fpc() const { return fpc_; }
+
+ private:
+  BdiCompressor bdi_;
+  FpcCompressor fpc_;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,69 @@
+// LSB-first bit packing used by the FPC compressed image.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+/// Append-only bit writer (LSB-first within each byte).
+class BitWriter {
+ public:
+  /// Appends the low `nbits` bits of `value`.
+  void put(std::uint64_t value, unsigned nbits) {
+    expects(nbits <= 64, "put supports at most 64 bits");
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (1ull << nbits) - 1;
+    const std::size_t end_byte = (pos_ + nbits + 7) / 8;
+    if (end_byte > bytes_.size()) bytes_.resize(end_byte, 0);
+    unsigned written = 0;
+    while (written < nbits) {
+      const std::size_t byte = (pos_ + written) / 8;
+      const unsigned bit_in_byte = (pos_ + written) % 8;
+      const unsigned take = std::min(8u - bit_in_byte, nbits - written);
+      const auto chunk = static_cast<std::uint8_t>(((value >> written) & ((1u << take) - 1u))
+                                                   << bit_in_byte);
+      bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | chunk);
+      written += take;
+    }
+    pos_ += nbits;
+  }
+
+  [[nodiscard]] std::size_t bit_count() const { return pos_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Sequential bit reader matching BitWriter's layout.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  /// Reads `nbits` bits; reading past the end is a contract violation.
+  [[nodiscard]] std::uint64_t get(unsigned nbits) {
+    expects(nbits <= 64, "get supports at most 64 bits");
+    expects(pos_ + nbits <= bytes_.size() * 8, "bit read past end of stream");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1u;
+      if (bit) v |= (1ull << i);
+      ++pos_;
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::size_t bits_left() const { return bytes_.size() * 8 - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcmsim

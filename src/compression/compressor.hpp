@@ -1,0 +1,66 @@
+// Block-compression interface used by the memory controller.
+//
+// The paper (Table I) evaluates two hardware cache/memory compressors, BDI
+// (Pekhimenko et al., PACT'12) and FPC (Alameldeen & Wood, ISCA'04), and always
+// stores the smaller of the two outputs ("BEST"). Both are implemented here
+// bit-accurately with full round-trip decompression.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// Which algorithm produced a compressed image.
+enum class CompressionScheme : std::uint8_t {
+  kNone = 0,  ///< stored raw (incompressible or policy chose uncompressed)
+  kBdi = 1,
+  kFpc = 2,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CompressionScheme s) {
+  switch (s) {
+    case CompressionScheme::kNone: return "none";
+    case CompressionScheme::kBdi: return "bdi";
+    case CompressionScheme::kFpc: return "fpc";
+  }
+  return "?";
+}
+
+/// A compressed 64-byte block image plus the metadata needed to decompress it.
+///
+/// `encoding` is scheme-specific (e.g. which BDI base/delta layout) and fits
+/// the 5-bit per-line metadata budget the paper allocates (Section III-B).
+struct CompressedBlock {
+  std::vector<std::uint8_t> bytes;  ///< payload, bytes.size() <= kBlockBytes
+  CompressionScheme scheme = CompressionScheme::kNone;
+  std::uint8_t encoding = 0;  ///< scheme-specific layout id (< 32)
+
+  [[nodiscard]] std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Abstract compressor: compress may decline (returns nullopt) when the block
+/// does not match any of the scheme's patterns or would not shrink.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Attempts to compress; a returned image is always strictly smaller than
+  /// kBlockBytes and round-trips exactly through decompress().
+  [[nodiscard]] virtual std::optional<CompressedBlock> compress(const Block& block) const = 0;
+
+  /// Reconstructs the original 64-byte block.
+  /// Precondition: `cb` was produced by this compressor's compress().
+  [[nodiscard]] virtual Block decompress(const CompressedBlock& cb) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Decompression latency in CPU cycles (Table I: BDI 1, FPC 5).
+  [[nodiscard]] virtual std::uint32_t decompression_latency_cycles() const = 0;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,178 @@
+#include "compression/fpc.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "compression/bitstream.hpp"
+
+namespace pcmsim {
+
+namespace {
+
+constexpr std::size_t kWords = kBlockBytes / 4;
+
+std::uint32_t load_word(const Block& block, std::size_t i) {
+  std::uint32_t w = 0;
+  std::memcpy(&w, block.data() + i * 4, 4);
+  return w;
+}
+
+void store_word(Block& block, std::size_t i, std::uint32_t w) {
+  std::memcpy(block.data() + i * 4, &w, 4);
+}
+
+bool fits_signed_bits(std::int32_t v, unsigned bits) {
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+std::int32_t sign_extend(std::uint32_t v, unsigned bits) {
+  const std::uint32_t mask = bits >= 32 ? ~0u : (1u << bits) - 1;
+  std::uint32_t x = v & mask;
+  if (bits < 32 && (x & (1u << (bits - 1)))) x |= ~mask;
+  return static_cast<std::int32_t>(x);
+}
+
+}  // namespace
+
+FpcPattern FpcCompressor::classify(std::uint32_t word) {
+  const auto sword = static_cast<std::int32_t>(word);
+  if (word == 0) return FpcPattern::kZeroRun;
+  if (fits_signed_bits(sword, 4)) return FpcPattern::kSign4;
+  if (fits_signed_bits(sword, 8)) return FpcPattern::kSign8;
+  if (fits_signed_bits(sword, 16)) return FpcPattern::kSign16;
+  if ((word & 0xFFFFu) == 0) return FpcPattern::kHighHalfZeroPad;
+  {
+    const auto lo_half = static_cast<std::uint16_t>(word & 0xFFFFu);
+    const auto hi_half = static_cast<std::uint16_t>(word >> 16);
+    const bool lo_ok = fits_signed_bits(sign_extend(lo_half, 16), 8);
+    const bool hi_ok = fits_signed_bits(sign_extend(hi_half, 16), 8);
+    if (lo_ok && hi_ok) return FpcPattern::kTwoSignedBytes;
+  }
+  {
+    const auto b0 = static_cast<std::uint8_t>(word);
+    const auto b1 = static_cast<std::uint8_t>(word >> 8);
+    const auto b2 = static_cast<std::uint8_t>(word >> 16);
+    const auto b3 = static_cast<std::uint8_t>(word >> 24);
+    if (b0 == b1 && b1 == b2 && b2 == b3) return FpcPattern::kRepeatedByte;
+  }
+  return FpcPattern::kUncompressed;
+}
+
+unsigned FpcCompressor::payload_bits(FpcPattern p) {
+  switch (p) {
+    case FpcPattern::kZeroRun: return 3;
+    case FpcPattern::kSign4: return 4;
+    case FpcPattern::kSign8: return 8;
+    case FpcPattern::kSign16: return 16;
+    case FpcPattern::kHighHalfZeroPad: return 16;
+    case FpcPattern::kTwoSignedBytes: return 16;
+    case FpcPattern::kRepeatedByte: return 8;
+    case FpcPattern::kUncompressed: return 32;
+  }
+  return 32;
+}
+
+std::optional<CompressedBlock> FpcCompressor::compress(const Block& block) const {
+  BitWriter bw;
+  std::size_t i = 0;
+  while (i < kWords) {
+    const std::uint32_t word = load_word(block, i);
+    const FpcPattern p = classify(word);
+    bw.put(static_cast<std::uint64_t>(p), 3);
+    switch (p) {
+      case FpcPattern::kZeroRun: {
+        std::size_t run = 1;
+        while (run < 8 && i + run < kWords && load_word(block, i + run) == 0) ++run;
+        bw.put(run - 1, 3);
+        i += run;
+        continue;
+      }
+      case FpcPattern::kSign4:
+        bw.put(word & 0xFu, 4);
+        break;
+      case FpcPattern::kSign8:
+        bw.put(word & 0xFFu, 8);
+        break;
+      case FpcPattern::kSign16:
+        bw.put(word & 0xFFFFu, 16);
+        break;
+      case FpcPattern::kHighHalfZeroPad:
+        bw.put(word >> 16, 16);
+        break;
+      case FpcPattern::kTwoSignedBytes:
+        bw.put(word & 0xFFu, 8);
+        bw.put((word >> 16) & 0xFFu, 8);
+        break;
+      case FpcPattern::kRepeatedByte:
+        bw.put(word & 0xFFu, 8);
+        break;
+      case FpcPattern::kUncompressed:
+        bw.put(word, 32);
+        break;
+    }
+    ++i;
+  }
+
+  CompressedBlock out;
+  out.scheme = CompressionScheme::kFpc;
+  out.encoding = 0;
+  out.bytes = std::move(bw).take();
+  if (out.bytes.empty()) out.bytes.push_back(0);  // 16 zero words fold to 2x6 bits
+  if (out.size_bytes() >= kBlockBytes) return std::nullopt;
+  return out;
+}
+
+Block FpcCompressor::decompress(const CompressedBlock& cb) const {
+  expects(cb.scheme == CompressionScheme::kFpc, "not an FPC image");
+  Block block{};
+  BitReader br(cb.bytes);
+  std::size_t i = 0;
+  while (i < kWords) {
+    const auto p = static_cast<FpcPattern>(br.get(3));
+    switch (p) {
+      case FpcPattern::kZeroRun: {
+        const std::size_t run = br.get(3) + 1;
+        expects(i + run <= kWords, "FPC zero run overflows block");
+        i += run;  // block starts zeroed
+        continue;
+      }
+      case FpcPattern::kSign4:
+        store_word(block, i, static_cast<std::uint32_t>(sign_extend(
+                                 static_cast<std::uint32_t>(br.get(4)), 4)));
+        break;
+      case FpcPattern::kSign8:
+        store_word(block, i, static_cast<std::uint32_t>(sign_extend(
+                                 static_cast<std::uint32_t>(br.get(8)), 8)));
+        break;
+      case FpcPattern::kSign16:
+        store_word(block, i, static_cast<std::uint32_t>(sign_extend(
+                                 static_cast<std::uint32_t>(br.get(16)), 16)));
+        break;
+      case FpcPattern::kHighHalfZeroPad:
+        store_word(block, i, static_cast<std::uint32_t>(br.get(16)) << 16);
+        break;
+      case FpcPattern::kTwoSignedBytes: {
+        const auto lo = static_cast<std::uint32_t>(
+            sign_extend(static_cast<std::uint32_t>(br.get(8)), 8));
+        const auto hi = static_cast<std::uint32_t>(
+            sign_extend(static_cast<std::uint32_t>(br.get(8)), 8));
+        store_word(block, i, (lo & 0xFFFFu) | (hi << 16));
+        break;
+      }
+      case FpcPattern::kRepeatedByte: {
+        const auto b = static_cast<std::uint32_t>(br.get(8));
+        store_word(block, i, b | (b << 8) | (b << 16) | (b << 24));
+        break;
+      }
+      case FpcPattern::kUncompressed:
+        store_word(block, i, static_cast<std::uint32_t>(br.get(32)));
+        break;
+    }
+    ++i;
+  }
+  return block;
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,40 @@
+#include "core/heuristic.hpp"
+
+#include <cstdlib>
+
+namespace pcmsim {
+
+namespace {
+
+std::uint8_t sc_step(const HeuristicConfig& cfg, std::uint8_t comp_size, std::uint8_t old_size,
+                     std::uint8_t sc) {
+  const int delta = std::abs(static_cast<int>(comp_size) - static_cast<int>(old_size));
+  if (delta < static_cast<int>(cfg.threshold2_bytes)) {
+    return sc > 0 ? static_cast<std::uint8_t>(sc - 1) : 0;
+  }
+  return sc < 3 ? static_cast<std::uint8_t>(sc + 1) : 3;
+}
+
+}  // namespace
+
+WriteDecision decide_write(const HeuristicConfig& cfg, std::uint8_t comp_size,
+                           std::uint8_t old_size, std::uint8_t sc) {
+  if (!cfg.enabled) return WriteDecision{true, sc};
+
+  // Extension: a near-line-sized image cannot dodge faults anyway.
+  if (cfg.threshold3_bytes != 0 && comp_size >= cfg.threshold3_bytes) {
+    return WriteDecision{false, cfg.update_always ? sc_step(cfg, comp_size, old_size, sc) : sc};
+  }
+  // Step 1: strongly compressible data is always stored compressed.
+  if (comp_size < cfg.threshold1_bytes) {
+    return WriteDecision{true, cfg.update_always ? sc_step(cfg, comp_size, old_size, sc) : sc};
+  }
+  // Step 2: saturated counter means this line's sizes churn — go uncompressed.
+  if (sc == 3) {
+    return WriteDecision{false, cfg.update_always ? sc_step(cfg, comp_size, old_size, sc) : sc};
+  }
+  // Step 3: compress and track size volatility.
+  return WriteDecision{true, sc_step(cfg, comp_size, old_size, sc)};
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,43 @@
+// The write-decision heuristic of Figure 8 (paper Section III-A.1).
+//
+// Compression raises data entropy, and for ~20% of write-backs the number of
+// post-DW bit flips *increases*. The controller cannot see chip-level flips,
+// so the paper predicts harmful writes from compressed-size volatility: a
+// 2-bit saturating counter (SC) per line tracks whether consecutive writes
+// change size; saturated SC + poorly-compressing data => store uncompressed.
+#pragma once
+
+#include <cstdint>
+
+namespace pcmsim {
+
+struct HeuristicConfig {
+  bool enabled = true;
+  std::uint8_t threshold1_bytes = 16;  ///< always compress below this size
+  std::uint8_t threshold2_bytes = 8;   ///< |old - new| size delta counted as "variable"
+  /// Extension beyond the paper (0 = off): store uncompressed when the image
+  /// is at least this large — a near-line-sized window has no fault-dodging
+  /// headroom left, so only the repacking entropy cost remains (this is what
+  /// makes lbm lose lifetime under blind compression).
+  std::uint8_t threshold3_bytes = 0;
+  /// Figure 8 only updates SC on the compressed path; with `update_always`
+  /// the size-volatility tracking also runs on the other two paths, so a line
+  /// latched into the uncompressed state can recover once its sizes settle.
+  /// (Kept configurable for the ablation bench.)
+  bool update_always = true;
+};
+
+struct WriteDecision {
+  bool store_compressed = true;
+  std::uint8_t new_sc = 0;
+};
+
+/// One step of the Figure 8 flow.
+///
+/// `comp_size` is the best-of compressed size of the incoming data;
+/// `old_size` the size of what the line currently stores (64 if uncompressed
+/// or never written); `sc` the line's current counter.
+[[nodiscard]] WriteDecision decide_write(const HeuristicConfig& cfg, std::uint8_t comp_size,
+                                         std::uint8_t old_size, std::uint8_t sc);
+
+}  // namespace pcmsim

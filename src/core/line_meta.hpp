@@ -1,0 +1,50 @@
+// Per-line metadata of the proposed architecture (paper Section III-B).
+//
+// 13 bits live at the head of each memory line: a 6-bit window start pointer,
+// 5 bits of compression encoding, and the 2-bit saturating counter; one more
+// bit (one of the 3 bits ECP-6 leaves unused in the ECC chip) flags whether
+// the line holds compressed data. The stored *size* is not kept in PCM — the
+// controller learns the old size from the LLC annotation path the paper
+// describes (1 byte appended per line on fills) — but the simulator tracks it
+// in the same struct for convenience.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+struct LineMeta {
+  std::uint8_t start_byte = 0;   ///< window start (6 bits, byte granularity)
+  std::uint8_t encoding = 0;     ///< packed compression encoding (5 bits)
+  std::uint8_t sc = 0;           ///< saturating counter (2 bits)
+  bool compressed = false;       ///< spare ECC-chip bit
+  // Controller-side state (LLC annotation / controller tables, not PCM bits):
+  std::uint8_t size_bytes = 0;   ///< stored image size (64 when uncompressed)
+  bool dead = false;             ///< no window currently fits the last write
+  bool counted_dead = false;     ///< counted toward the 50% capacity criterion
+  bool ever_written = false;
+  std::uint32_t recycle_epoch = 0;  ///< last inter-line WL epoch we re-checked at
+};
+
+/// Packs the PCM-resident 14 bits (13 + compressed flag) for storage.
+[[nodiscard]] inline std::uint16_t pack_meta(const LineMeta& m) {
+  expects(m.start_byte < 64, "start pointer must fit 6 bits");
+  expects(m.encoding < 32, "encoding must fit 5 bits");
+  expects(m.sc < 4, "saturating counter must fit 2 bits");
+  return static_cast<std::uint16_t>(m.start_byte | (m.encoding << 6) | (m.sc << 11) |
+                                    (static_cast<std::uint16_t>(m.compressed) << 13));
+}
+
+/// Inverse of pack_meta (controller-side fields are left defaulted).
+[[nodiscard]] inline LineMeta unpack_meta(std::uint16_t raw) {
+  LineMeta m;
+  m.start_byte = raw & 0x3Fu;
+  m.encoding = (raw >> 6) & 0x1Fu;
+  m.sc = (raw >> 11) & 0x3u;
+  m.compressed = (raw >> 13) & 0x1u;
+  return m;
+}
+
+}  // namespace pcmsim

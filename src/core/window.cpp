@@ -1,0 +1,84 @@
+#include "core/window.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+WindowSegments window_segments(std::uint8_t start_byte, std::uint8_t size_bytes) {
+  expects(start_byte < kBlockBytes, "window start must be inside the line");
+  expects(size_bytes >= 1 && size_bytes <= kBlockBytes, "window size must be 1..64 bytes");
+  WindowSegments out;
+  const std::size_t start_bit = static_cast<std::size_t>(start_byte) * 8;
+  const std::size_t nbits = static_cast<std::size_t>(size_bytes) * 8;
+  if (start_bit + nbits <= kBlockBits) {
+    out.seg[0] = {start_bit, nbits};
+    out.count = 1;
+  } else {
+    const std::size_t first = kBlockBits - start_bit;
+    out.seg[0] = {start_bit, first};
+    out.seg[1] = {0, nbits - first};
+    out.count = 2;
+  }
+  return out;
+}
+
+std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
+                                     std::uint8_t start_byte, std::uint8_t size_bytes) {
+  const WindowSegments segs = window_segments(start_byte, size_bytes);
+  std::vector<FaultCell> out;
+  std::size_t window_pos = 0;
+  for (std::size_t s = 0; s < segs.count; ++s) {
+    const auto positions = array.stuck_positions(line, segs.seg[s].bit_off, segs.seg[s].nbits);
+    for (auto p : positions) {
+      const auto rel = static_cast<std::uint16_t>(window_pos + (p - segs.seg[s].bit_off));
+      out.push_back(FaultCell{rel, array.read_bit(line, p)});
+    }
+    window_pos += segs.seg[s].nbits;
+  }
+  return out;
+}
+
+bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t start,
+                        std::uint8_t size_bytes) const {
+  const WindowSegments segs = window_segments(start, size_bytes);
+  std::size_t stuck = 0;
+  for (std::size_t s = 0; s < segs.count; ++s) {
+    stuck += array.count_stuck(line, segs.seg[s].bit_off, segs.seg[s].nbits);
+  }
+  if (stuck == 0) return true;
+  // Fast path: every implemented scheme tolerates any pattern of up to
+  // guaranteed_correctable() faults, so only larger sets need positions.
+  if (stuck <= scheme_->guaranteed_correctable()) return true;
+  const auto faults = window_faults(array, line, start, size_bytes);
+  return scheme_->can_tolerate(faults, static_cast<std::size_t>(size_bytes) * 8);
+}
+
+std::optional<std::uint8_t> WindowPlacer::find(const PcmArray& array, std::size_t line,
+                                               std::uint8_t size_bytes, std::uint8_t preferred,
+                                               SlidePolicy policy) const {
+  expects(preferred < kBlockBytes, "preferred start must be inside the line");
+  switch (policy) {
+    case SlidePolicy::kStay: {
+      if (fits(array, line, preferred, size_bytes)) return preferred;
+      return std::nullopt;
+    }
+    case SlidePolicy::kSlideUp: {
+      // Slide toward higher-order bytes only, never wrapping (Fig 4, step 3).
+      for (std::uint8_t start = preferred;
+           static_cast<std::size_t>(start) + size_bytes <= kBlockBytes; ++start) {
+        if (fits(array, line, start, size_bytes)) return start;
+      }
+      return std::nullopt;
+    }
+    case SlidePolicy::kAnywhere: {
+      for (std::size_t i = 0; i < kBlockBytes; ++i) {
+        const auto start = static_cast<std::uint8_t>((preferred + i) % kBlockBytes);
+        if (fits(array, line, start, size_bytes)) return start;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,66 @@
+// Compression-window placement over a PCM line (paper Section III-A, Fig 4).
+//
+// A window is `size_bytes` contiguous bytes of the 512-bit data area starting
+// at `start_byte`; with intra-line rotation enabled it may wrap around the
+// end of the line. A window "fits" when the hard-error scheme can still store
+// arbitrary data given the stuck cells inside it — faults outside the window
+// are simply dodged, which is how the design tolerates far more than the
+// scheme's nominal correction strength.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "pcm/array.hpp"
+
+namespace pcmsim {
+
+/// A (possibly wrapping) window maps to one or two bit ranges in the line.
+struct WindowSegments {
+  struct Seg {
+    std::size_t bit_off;
+    std::size_t nbits;
+  };
+  std::array<Seg, 2> seg{};
+  std::size_t count = 0;
+};
+
+[[nodiscard]] WindowSegments window_segments(std::uint8_t start_byte, std::uint8_t size_bytes);
+
+/// Stuck cells inside the window, positions *window-relative* (so the error
+/// scheme sees a contiguous protected unit), with their latched values.
+[[nodiscard]] std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
+                                                   std::uint8_t start_byte,
+                                                   std::uint8_t size_bytes);
+
+/// How the controller may move the window when the current position fails.
+enum class SlidePolicy : std::uint8_t {
+  kStay,     ///< only the preferred start (plain Comp before any slide)
+  kSlideUp,  ///< slide toward higher-order bytes, no wrap (naive Comp, Fig 4-3)
+  kAnywhere, ///< any start, wrap allowed (Comp+W / Comp+WF with rotation)
+};
+
+class WindowPlacer {
+ public:
+  explicit WindowPlacer(const HardErrorScheme& scheme) : scheme_(&scheme) {}
+
+  /// True when the window at `start` can store arbitrary data.
+  [[nodiscard]] bool fits(const PcmArray& array, std::size_t line, std::uint8_t start,
+                          std::uint8_t size_bytes) const;
+
+  /// Finds a start position per the slide policy, trying `preferred` first.
+  [[nodiscard]] std::optional<std::uint8_t> find(const PcmArray& array, std::size_t line,
+                                                 std::uint8_t size_bytes,
+                                                 std::uint8_t preferred,
+                                                 SlidePolicy policy) const;
+
+  [[nodiscard]] const HardErrorScheme& scheme() const { return *scheme_; }
+
+ private:
+  const HardErrorScheme* scheme_;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,64 @@
+#include "ecc/ecp.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+namespace {
+constexpr unsigned kPointerBits = 9;  // addresses any cell of a 512-bit line
+}
+
+EcpScheme::EcpScheme(std::size_t entries) : entries_(entries) {
+  expects(entries >= 1 && entries <= 6, "ECP supports 1..6 entries in the 64-bit budget");
+  name_ = "ECP-" + std::to_string(entries);
+}
+
+std::size_t EcpScheme::metadata_bits() const {
+  // entries x (pointer + replacement) + 3-bit active-entry count.
+  return entries_ * (kPointerBits + 1) + 3;
+}
+
+bool EcpScheme::can_tolerate(std::span<const FaultCell> faults,
+                             std::size_t window_bits) const {
+  expects(window_bits <= kBlockBits, "ECP pointers cover at most 512 bits");
+  return faults.size() <= entries_;
+}
+
+std::optional<HardErrorScheme::EncodeResult> EcpScheme::encode(
+    std::span<const std::uint8_t> data, std::size_t window_bits,
+    std::span<const FaultCell> faults) const {
+  if (!can_tolerate(faults, window_bits)) return std::nullopt;
+  EncodeResult out;
+  out.image.assign(data.begin(), data.end());
+  std::uint64_t meta = 0;
+  std::size_t used = 0;
+  for (const auto& f : faults) {
+    expects(f.pos < window_bits, "fault outside window");
+    const bool replacement = get_bit(data, f.pos);
+    const std::uint64_t entry =
+        (static_cast<std::uint64_t>(f.pos)) | (static_cast<std::uint64_t>(replacement) << kPointerBits);
+    meta |= entry << (used * (kPointerBits + 1));
+    ++used;
+  }
+  meta |= static_cast<std::uint64_t>(used) << (entries_ * (kPointerBits + 1));
+  out.meta = meta;
+  return out;
+}
+
+std::vector<std::uint8_t> EcpScheme::decode(std::span<const std::uint8_t> raw,
+                                            std::size_t window_bits, std::uint64_t meta,
+                                            std::span<const FaultCell> /*faults*/) const {
+  std::vector<std::uint8_t> out(raw.begin(), raw.end());
+  const auto used = static_cast<std::size_t>((meta >> (entries_ * (kPointerBits + 1))) & 0x7u);
+  expects(used <= entries_, "corrupt ECP metadata: too many active entries");
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::uint64_t entry = (meta >> (i * (kPointerBits + 1)));
+    const auto pos = static_cast<std::size_t>(entry & ((1u << kPointerBits) - 1));
+    const bool replacement = (entry >> kPointerBits) & 1u;
+    expects(pos < window_bits, "corrupt ECP metadata: pointer outside window");
+    set_bit(out, pos, replacement);
+  }
+  return out;
+}
+
+}  // namespace pcmsim

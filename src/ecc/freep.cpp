@@ -1,0 +1,82 @@
+#include "ecc/freep.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+std::vector<std::uint8_t> FreePPointerCodec::encode(std::uint16_t target) {
+  // Bit b of the pointer occupies positions b, b+16, b+32, ... so that a
+  // contiguous cluster of stuck cells hits different pointer bits rather
+  // than many replicas of the same bit.
+  std::vector<std::uint8_t> image(kBlockBytes, 0);
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    for (std::size_t b = 0; b < kPointerBits; ++b) {
+      if ((target >> b) & 1u) set_bit(image, r * kPointerBits + b, true);
+    }
+  }
+  return image;
+}
+
+std::uint16_t FreePPointerCodec::decode(std::span<const std::uint8_t> raw) {
+  expects(raw.size() * 8 >= kBlockBits, "pointer image must cover the data area");
+  std::uint16_t out = 0;
+  for (std::size_t b = 0; b < kPointerBits; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t r = 0; r < kReplicas; ++r) {
+      ones += get_bit(raw, r * kPointerBits + b) ? 1u : 0u;
+    }
+    if (ones * 2 > kReplicas) out = static_cast<std::uint16_t>(out | (1u << b));
+  }
+  return out;
+}
+
+FreePRemapper::FreePRemapper(PcmArray& array, std::size_t spares)
+    : array_(&array),
+      first_spare_(array.lines() - spares),
+      spares_left_(spares),
+      next_spare_(array.lines() - spares),
+      remap_to_(array.lines(), kNoRemap) {
+  expects(spares > 0 && spares < array.lines(), "spare count must be 1..lines-1");
+  expects(array.lines() <= (std::size_t{1} << FreePPointerCodec::kPointerBits),
+          "region too large for the 16-bit embedded pointer");
+}
+
+std::size_t FreePRemapper::resolve(std::size_t line) const {
+  expects(line < remap_to_.size(), "line out of range");
+  std::size_t cur = line;
+  std::size_t hops = 0;
+  while (remap_to_[cur] != kNoRemap) {
+    cur = remap_to_[cur];
+    ensures(++hops <= remap_to_.size(), "remap chain contains a cycle");
+  }
+  return cur;
+}
+
+std::optional<std::size_t> FreePRemapper::remap(std::size_t line) {
+  const std::size_t dead = resolve(line);
+  if (spares_left_ == 0) return std::nullopt;
+  const std::size_t target = next_spare_++;
+  --spares_left_;
+
+  // Embed the pointer in the dead line. Stuck cells simply refuse the write;
+  // the replication makes the majority decode come out right regardless.
+  const auto image = FreePPointerCodec::encode(static_cast<std::uint16_t>(target));
+  (void)array_->write_range(dead, 0, image, kBlockBits);
+  remap_to_[dead] = static_cast<std::uint16_t>(target);
+  return target;
+}
+
+bool FreePRemapper::verify_chain(std::size_t line) const {
+  std::size_t cur = line;
+  std::size_t hops = 0;
+  while (remap_to_[cur] != kNoRemap) {
+    std::vector<std::uint8_t> raw(kBlockBytes);
+    array_->read_range(cur, 0, kBlockBits, raw);
+    if (FreePPointerCodec::decode(raw) != remap_to_[cur]) return false;
+    cur = remap_to_[cur];
+    if (++hops > remap_to_.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace pcmsim

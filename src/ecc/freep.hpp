@@ -1,0 +1,71 @@
+// FREE-p: Fine-grained Remapping with ECC and Embedded Pointers
+// (Yoon et al., HPCA 2011) — one of the hard-error tolerant schemes the
+// paper cites ([10]) as compatible with its compression mechanism.
+//
+// Idea: when a line's error correction is exhausted, don't waste a whole
+// spare row — store a *remap pointer* inside the dead line itself and point
+// it at a spare line. The pointer must survive the very stuck cells that
+// killed the line, so it is stored replicated across the 512-bit data area
+// and recovered by bitwise majority vote: with <= ~50 stuck cells and 31
+// replicas of each pointer bit, the probability of a majority of any bit's
+// replicas being stuck *and* wrong is negligible.
+//
+// This module is an extension beyond the paper's evaluated set: it manages
+// the remap table/pointer encoding over a PcmArray region and is evaluated
+// standalone (tests + bench), not inside PcmSystem.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pcm/array.hpp"
+
+namespace pcmsim {
+
+/// Pointer image: `kPointerBits`-wide line index, each bit replicated
+/// `kReplicas` times, interleaved across the 512-bit data area.
+class FreePPointerCodec {
+ public:
+  static constexpr std::size_t kPointerBits = 16;  ///< up to 64 Ki lines
+  static constexpr std::size_t kReplicas = kBlockBits / kPointerBits;  // 32
+
+  /// Builds the 512-bit replicated image of `target`.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(std::uint16_t target);
+
+  /// Majority-vote decode from a raw (possibly fault-corrupted) line image.
+  [[nodiscard]] static std::uint16_t decode(std::span<const std::uint8_t> raw);
+};
+
+/// Remap manager over a PcmArray: `spares` lines at the top of the region
+/// are reserved; dead lines chain to spares via embedded pointers.
+class FreePRemapper {
+ public:
+  /// Reserves the last `spares` lines of `array`'s region.
+  FreePRemapper(PcmArray& array, std::size_t spares);
+
+  /// Where `line`'s data actually lives (follows the remap chain).
+  [[nodiscard]] std::size_t resolve(std::size_t line) const;
+
+  /// Declares the line holding `line`'s data dead; allocates a spare, writes
+  /// the embedded pointer into the dead line, and returns the new location.
+  /// Returns nullopt when no spare is available (capacity exhausted).
+  std::optional<std::size_t> remap(std::size_t line);
+
+  /// Re-reads the pointer chain from the array (what a cold boot would do)
+  /// and checks it against the in-memory table. True when consistent.
+  [[nodiscard]] bool verify_chain(std::size_t line) const;
+
+  [[nodiscard]] std::size_t spares_left() const { return spares_left_; }
+  [[nodiscard]] std::size_t data_lines() const { return first_spare_; }
+
+ private:
+  PcmArray* array_;
+  std::size_t first_spare_;
+  std::size_t spares_left_;
+  std::size_t next_spare_;
+  std::vector<std::uint16_t> remap_to_;  // kNoRemap when not remapped
+  static constexpr std::uint16_t kNoRemap = 0xFFFF;
+};
+
+}  // namespace pcmsim

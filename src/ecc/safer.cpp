@@ -1,0 +1,164 @@
+#include "ecc/safer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+namespace {
+
+/// Group id of a cell address under a field selection (indices of address bits).
+std::size_t group_of(std::size_t pos, std::span<const unsigned> fields) {
+  std::size_t g = 0;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    g |= static_cast<std::size_t>((pos >> fields[i]) & 1u) << i;
+  }
+  return g;
+}
+
+}  // namespace
+
+SaferScheme::SaferScheme(std::size_t partitions, Strategy strategy)
+    : partitions_(partitions), strategy_(strategy) {
+  expects(partitions >= 2 && std::has_single_bit(partitions), "partitions must be a power of two");
+  fields_ = static_cast<unsigned>(std::countr_zero(partitions));
+  expects(fields_ * 4 + partitions_ <= 64, "SAFER metadata exceeds the 64-bit budget");
+  name_ = "SAFER-" + std::to_string(partitions);
+  if (strategy == Strategy::kExhaustive) name_ += "-ideal";
+}
+
+std::size_t SaferScheme::metadata_bits() const { return fields_ * 4 + partitions_; }
+
+unsigned SaferScheme::address_bits_for(std::size_t window_bits) {
+  expects(window_bits >= 1 && window_bits <= kBlockBits, "window must be 1..512 bits");
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < window_bits) ++bits;
+  return bits;
+}
+
+unsigned SaferScheme::fields_for(std::size_t window_bits) const {
+  return std::min(fields_, address_bits_for(window_bits));
+}
+
+std::optional<std::vector<unsigned>> SaferScheme::exhaustive_partitioning(
+    std::span<const FaultCell> faults, std::size_t window_bits) const {
+  const unsigned abits = address_bits_for(window_bits);
+  const unsigned use = fields_for(window_bits);
+  if (faults.size() > (std::size_t{1} << use)) return std::nullopt;
+
+  // All selections of `use` address bits out of `abits` (<= 2^9 masks).
+  for (unsigned mask = 0; mask < (1u << abits); ++mask) {
+    if (std::popcount(mask) != static_cast<int>(use)) continue;
+    std::vector<unsigned> fields;
+    for (unsigned b = 0; b < abits; ++b) {
+      if ((mask >> b) & 1u) fields.push_back(b);
+    }
+    std::unordered_set<std::size_t> seen;
+    bool ok = true;
+    for (const auto& f : faults) {
+      if (!seen.insert(group_of(f.pos, fields)).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return fields;
+  }
+  // use == abits means every cell already has a unique group; reaching here
+  // with that selection failing implies duplicate fault positions.
+  return std::nullopt;
+}
+
+std::optional<std::vector<unsigned>> SaferScheme::greedy_partitioning(
+    std::span<const FaultCell> faults, std::size_t window_bits) const {
+  const unsigned abits = address_bits_for(window_bits);
+  const unsigned max_fields = fields_for(window_bits);
+
+  // Hardware algorithm: faults arrive one at a time (here: position order, an
+  // unbiased stand-in for wear-out order). A new fault colliding with an
+  // earlier one appends the lowest address bit that distinguishes the pair.
+  // Chosen bits only ever refine the partition, so previously separated
+  // pairs stay separated and each collision consumes at most one field.
+  std::vector<unsigned> chosen;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group_of(faults[i].pos, chosen) != group_of(faults[j].pos, chosen)) continue;
+      // Collision: previous faults are pairwise separated, so j is unique.
+      const auto diff =
+          static_cast<unsigned>(faults[i].pos ^ faults[j].pos);
+      if (diff == 0) return std::nullopt;  // duplicate position
+      if (chosen.size() >= max_fields) return std::nullopt;
+      chosen.push_back(static_cast<unsigned>(std::countr_zero(diff)));
+      break;
+    }
+  }
+  // Pad with unused address bits: extra fields only refine groups further.
+  for (unsigned b = 0; b < abits && chosen.size() < max_fields; ++b) {
+    if (std::find(chosen.begin(), chosen.end(), b) == chosen.end()) chosen.push_back(b);
+  }
+  return chosen;
+}
+
+std::optional<std::vector<unsigned>> SaferScheme::find_partitioning(
+    std::span<const FaultCell> faults, std::size_t window_bits) const {
+  return strategy_ == Strategy::kGreedy ? greedy_partitioning(faults, window_bits)
+                                        : exhaustive_partitioning(faults, window_bits);
+}
+
+bool SaferScheme::can_tolerate(std::span<const FaultCell> faults,
+                               std::size_t window_bits) const {
+  if (faults.size() <= 1) return true;
+  return find_partitioning(faults, window_bits).has_value();
+}
+
+std::optional<HardErrorScheme::EncodeResult> SaferScheme::encode(
+    std::span<const std::uint8_t> data, std::size_t window_bits,
+    std::span<const FaultCell> faults) const {
+  const auto fields = find_partitioning(faults, window_bits);
+  if (!fields) return std::nullopt;
+
+  // Pick each group's inversion so its (single) stuck cell matches the data.
+  std::vector<std::uint8_t> flip(partitions_, 0);
+  for (const auto& f : faults) {
+    const std::size_t g = group_of(f.pos, *fields);
+    flip[g] = get_bit(data, f.pos) != f.stuck_value ? 1 : 0;
+  }
+
+  EncodeResult out;
+  out.image.assign((window_bits + 7) / 8, 0);
+  for (std::size_t i = 0; i < window_bits; ++i) {
+    const bool bit = get_bit(data, i) ^ (flip[group_of(i, *fields)] != 0);
+    set_bit(out.image, i, bit);
+  }
+
+  std::uint64_t meta = 0;
+  for (std::size_t i = 0; i < fields->size(); ++i) {
+    meta |= static_cast<std::uint64_t>((*fields)[i] & 0xFu) << (i * 4);
+  }
+  for (std::size_t g = 0; g < partitions_; ++g) {
+    if (flip[g]) meta |= 1ull << (fields_ * 4 + g);
+  }
+  out.meta = meta;
+  return out;
+}
+
+std::vector<std::uint8_t> SaferScheme::decode(std::span<const std::uint8_t> raw,
+                                              std::size_t window_bits, std::uint64_t meta,
+                                              std::span<const FaultCell> /*faults*/) const {
+  const unsigned use = fields_for(window_bits);
+  std::vector<unsigned> fields(use);
+  for (unsigned i = 0; i < use; ++i) {
+    fields[i] = static_cast<unsigned>((meta >> (i * 4)) & 0xFu);
+  }
+  std::vector<std::uint8_t> out((window_bits + 7) / 8, 0);
+  for (std::size_t i = 0; i < window_bits; ++i) {
+    const std::size_t g = group_of(i, fields);
+    const bool flip = (meta >> (fields_ * 4 + g)) & 1u;
+    set_bit(out, i, get_bit(raw, i) ^ flip);
+  }
+  return out;
+}
+
+}  // namespace pcmsim

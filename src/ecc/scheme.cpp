@@ -1,0 +1,19 @@
+#include "ecc/scheme.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+std::vector<std::uint8_t> apply_faults(std::span<const std::uint8_t> image,
+                                       std::size_t window_bits,
+                                       std::span<const FaultCell> faults) {
+  expects(image.size() * 8 >= window_bits, "image too small for window");
+  std::vector<std::uint8_t> out(image.begin(), image.end());
+  for (const auto& f : faults) {
+    expects(f.pos < window_bits, "fault outside window");
+    set_bit(out, f.pos, f.stuck_value);
+  }
+  return out;
+}
+
+}  // namespace pcmsim

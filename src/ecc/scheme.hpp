@@ -1,0 +1,73 @@
+// Hard-error tolerance scheme interface.
+//
+// PCM hard errors are *stuck-at* faults: the cell still reads reliably but no
+// longer programs, and the mismatch is detected by the chip's verify read.
+// A scheme therefore knows, at write time, exactly which cells are stuck and
+// at which value, and must arrange the stored image (replacement entries,
+// partition inversion, ...) so that a later read recovers the data exactly.
+//
+// The paper's baseline uses ECP-6 (Schechter et al., ISCA'10); SAFER
+// (Seong et al., MICRO'10) and Aegis (Fan et al., MICRO'13) are evaluated as
+// stronger partition-based alternatives (Section III-A.4, Figure 9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// One stuck-at cell: position within the protected window and latched value.
+struct FaultCell {
+  std::uint16_t pos = 0;
+  bool stuck_value = false;
+
+  friend bool operator==(const FaultCell&, const FaultCell&) = default;
+};
+
+class HardErrorScheme {
+ public:
+  virtual ~HardErrorScheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Metadata bits consumed in the line's 64-bit ECC-chip area.
+  [[nodiscard]] virtual std::size_t metadata_bits() const = 0;
+
+  /// Fault count the scheme corrects for *every* fault pattern.
+  [[nodiscard]] virtual std::size_t guaranteed_correctable() const = 0;
+
+  /// True when a window of `window_bits` cells containing exactly the given
+  /// stuck cells can still store arbitrary data. Positions are window-relative
+  /// and strictly increasing. Data-independent for all implemented schemes.
+  [[nodiscard]] virtual bool can_tolerate(std::span<const FaultCell> faults,
+                                          std::size_t window_bits) const = 0;
+
+  /// Produces the bit image to store so that, after the stuck cells impose
+  /// their values, decode() recovers `data` exactly. Returns nullopt when the
+  /// fault pattern is uncorrectable. `image` and `data` are LSB-first packed
+  /// `window_bits`-long buffers; `meta` receives scheme metadata.
+  struct EncodeResult {
+    std::vector<std::uint8_t> image;  ///< bits to program into the window
+    std::uint64_t meta = 0;           ///< metadata word (<= metadata_bits() used)
+  };
+  [[nodiscard]] virtual std::optional<EncodeResult> encode(
+      std::span<const std::uint8_t> data, std::size_t window_bits,
+      std::span<const FaultCell> faults) const = 0;
+
+  /// Recovers the original data from a raw read of the window plus metadata.
+  [[nodiscard]] virtual std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> raw, std::size_t window_bits, std::uint64_t meta,
+      std::span<const FaultCell> faults) const = 0;
+};
+
+/// Applies stuck-at faults to an image: what the array would actually hold.
+[[nodiscard]] std::vector<std::uint8_t> apply_faults(std::span<const std::uint8_t> image,
+                                                     std::size_t window_bits,
+                                                     std::span<const FaultCell> faults);
+
+}  // namespace pcmsim

@@ -1,0 +1,100 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+SecdedScheme::SecdedScheme() {
+  // Hsiao construction: assign each of the 64 data bits a distinct odd-weight
+  // 8-bit column, skipping the 8 weight-1 columns reserved for check bits.
+  // Weight-3 columns alone provide C(8,3) = 56; the remaining 8 use weight 5.
+  std::size_t next = 0;
+  for (int weight : {3, 5}) {
+    for (unsigned c = 1; c < 256 && next < column_.size(); ++c) {
+      if (std::popcount(c) == weight) {
+        column_[next] = static_cast<std::uint8_t>(c);
+        ++next;
+      }
+    }
+  }
+  ensures(next == column_.size(), "Hsiao column assignment incomplete");
+}
+
+std::uint8_t SecdedScheme::compute_check(std::uint64_t word) const {
+  std::uint8_t check = 0;
+  std::uint64_t w = word;
+  while (w != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(w));
+    w &= w - 1;
+    check ^= column_[b];
+  }
+  return check;
+}
+
+std::optional<SecdedScheme::Corrected> SecdedScheme::correct(std::uint64_t word,
+                                                             std::uint8_t check) const {
+  const std::uint8_t syndrome = static_cast<std::uint8_t>(compute_check(word) ^ check);
+  if (syndrome == 0) return Corrected{word, false};
+  if (std::popcount(static_cast<unsigned>(syndrome)) == 1) {
+    // Error in the check bit itself; data is intact.
+    return Corrected{word, false};
+  }
+  for (std::size_t i = 0; i < column_.size(); ++i) {
+    if (column_[i] == syndrome) {
+      return Corrected{word ^ (1ull << i), true};
+    }
+  }
+  return std::nullopt;  // even-weight or unknown syndrome: uncorrectable
+}
+
+bool SecdedScheme::can_tolerate(std::span<const FaultCell> faults,
+                                std::size_t window_bits) const {
+  expects(window_bits == kBlockBits, "SECDED operates on whole 512-bit lines");
+  std::array<int, 8> per_word{};
+  for (const auto& f : faults) {
+    if (++per_word[f.pos / 64] > 1) return false;
+  }
+  return true;
+}
+
+std::optional<HardErrorScheme::EncodeResult> SecdedScheme::encode(
+    std::span<const std::uint8_t> data, std::size_t window_bits,
+    std::span<const FaultCell> faults) const {
+  if (!can_tolerate(faults, window_bits)) return std::nullopt;
+  EncodeResult out;
+  out.image.assign(data.begin(), data.end());
+  std::uint64_t meta = 0;
+  for (std::size_t w = 0; w < 8; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(data[w * 8 + b]) << (8 * b);
+    }
+    meta |= static_cast<std::uint64_t>(compute_check(word)) << (8 * w);
+  }
+  out.meta = meta;
+  return out;
+}
+
+std::vector<std::uint8_t> SecdedScheme::decode(std::span<const std::uint8_t> raw,
+                                               std::size_t window_bits, std::uint64_t meta,
+                                               std::span<const FaultCell> /*faults*/) const {
+  expects(window_bits == kBlockBits, "SECDED operates on whole 512-bit lines");
+  std::vector<std::uint8_t> out(raw.begin(), raw.end());
+  for (std::size_t w = 0; w < 8; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(raw[w * 8 + b]) << (8 * b);
+    }
+    const auto check = static_cast<std::uint8_t>((meta >> (8 * w)) & 0xFFu);
+    const auto corrected = correct(word, check);
+    expects(corrected.has_value(), "SECDED decode hit an uncorrectable word");
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[w * 8 + b] = static_cast<std::uint8_t>((corrected->word >> (8 * b)) & 0xFFu);
+    }
+  }
+  return out;
+}
+
+}  // namespace pcmsim

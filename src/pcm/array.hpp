@@ -1,0 +1,106 @@
+// Bit-accurate PCM cell array with per-cell endurance and stuck-at faults.
+//
+// Models the behaviour the paper's mechanisms depend on:
+//  * the chip-level read-modify-write circuit performs differential writes —
+//    only cells whose stored value differs from the new value are programmed;
+//  * every programming pulse consumes one endurance cycle of that cell;
+//  * a cell whose endurance is exhausted becomes permanently stuck at either
+//    RESET (0) or SET (1); programming it has no effect (hard error);
+//  * hard errors are detectable via the verify read the RMW circuit performs.
+//
+// Storage is struct-of-arrays: value and stuck flags in packed 64-bit words,
+// remaining endurance in uint16 (sufficient for the scaled endurance used in
+// lifetime studies; construction rejects configurations that would overflow).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "pcm/config.hpp"
+
+namespace pcmsim {
+
+/// Outcome of one differential write to a cell range.
+struct PcmWriteResult {
+  std::size_t programmed_bits = 0;  ///< cells actually pulsed (post-DW bit flips)
+  std::size_t new_faults = 0;       ///< cells that wore out during this write
+  std::size_t mismatched_bits = 0;  ///< stuck cells whose value differs from the data
+};
+
+class PcmArray {
+ public:
+  explicit PcmArray(const PcmDeviceConfig& config);
+
+  [[nodiscard]] std::size_t lines() const { return config_.lines; }
+  [[nodiscard]] const PcmDeviceConfig& config() const { return config_; }
+
+  /// Stored value of bit `bit` of line `line` (stuck cells return their stuck value).
+  [[nodiscard]] bool read_bit(std::size_t line, std::size_t bit) const;
+
+  /// Reads `nbits` starting at `bit_off` into `out` (LSB-first packed bytes).
+  void read_range(std::size_t line, std::size_t bit_off, std::size_t nbits,
+                  std::span<std::uint8_t> out) const;
+
+  /// Differential write of `nbits` (LSB-first packed in `data`) at `bit_off`.
+  /// Only differing, non-stuck cells are programmed; each programming pulse
+  /// consumes endurance and may create a new stuck-at fault.
+  PcmWriteResult write_range(std::size_t line, std::size_t bit_off,
+                             std::span<const std::uint8_t> data, std::size_t nbits);
+
+  /// True when the cell is permanently stuck.
+  [[nodiscard]] bool is_stuck(std::size_t line, std::size_t bit) const;
+
+  /// Number of stuck cells in [bit_off, bit_off + nbits).
+  [[nodiscard]] std::size_t count_stuck(std::size_t line, std::size_t bit_off,
+                                        std::size_t nbits) const;
+
+  /// Positions (relative to line start) of stuck cells in the given range.
+  [[nodiscard]] std::vector<std::uint16_t> stuck_positions(std::size_t line,
+                                                           std::size_t bit_off,
+                                                           std::size_t nbits) const;
+
+  /// Remaining endurance of one cell (0 when stuck).
+  [[nodiscard]] std::uint32_t remaining_endurance(std::size_t line, std::size_t bit) const;
+
+  /// Forces a cell into the stuck state (fault injection for tests/Monte Carlo).
+  void inject_fault(std::size_t line, std::size_t bit, bool stuck_value);
+
+  /// Total programming pulses issued to this array since construction.
+  [[nodiscard]] std::uint64_t total_programmed_bits() const { return total_programmed_; }
+  /// Total cells that have worn out since construction.
+  [[nodiscard]] std::uint64_t total_faults() const { return total_faults_; }
+  /// SET pulses (0 -> 1: long, low-current crystallization).
+  [[nodiscard]] std::uint64_t total_set_pulses() const { return total_set_; }
+  /// RESET pulses (1 -> 0: short, high-current melt — the wear-out driver).
+  [[nodiscard]] std::uint64_t total_reset_pulses() const { return total_reset_; }
+
+  /// Write energy in picojoules under a simple pulse model (energies per bit;
+  /// defaults follow the SET/RESET asymmetry of Lee et al. ISCA'09 scaled to
+  /// the Table II pulse widths: RESET is short but high-power).
+  [[nodiscard]] double write_energy_pj(double set_pj = 13.5, double reset_pj = 19.2) const {
+    return static_cast<double>(total_set_) * set_pj +
+           static_cast<double>(total_reset_) * reset_pj;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t line, std::size_t bit) const;
+  [[nodiscard]] bool get_value(std::size_t idx) const;
+  void set_value(std::size_t idx, bool v);
+  [[nodiscard]] bool get_stuck(std::size_t idx) const;
+  void set_stuck(std::size_t idx);
+
+  PcmDeviceConfig config_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> stuck_;
+  std::vector<std::uint16_t> endurance_;
+  Rng rng_;
+  std::uint64_t total_programmed_ = 0;
+  std::uint64_t total_faults_ = 0;
+  std::uint64_t total_set_ = 0;
+  std::uint64_t total_reset_ = 0;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,62 @@
+// PCM device and organization parameters (paper Table II).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// Total physical cells per line: 512 data bits + 64 bits on the ninth (ECC)
+/// chip of the ECC-DIMM. Error-correction metadata lives in the ECC-chip bits.
+inline constexpr std::size_t kLineTotalBits = kBlockBits + kEccBits;
+
+/// Device-level configuration for a simulated PCM region.
+///
+/// Endurance is expressed in *simulated* write cycles. The paper's physical
+/// mean is 1e7 (ITRS, Table II); lifetime studies use a scaled-down mean so a
+/// run finishes in seconds, and rescale to physical months analytically (see
+/// DESIGN.md "Endurance scaling" and sim/lifetime.hpp).
+struct PcmDeviceConfig {
+  std::size_t lines = std::size_t{1} << 15;  ///< lines in the simulated region
+  double endurance_mean = 1e4;               ///< mean programming cycles per cell
+  double endurance_cov = 0.15;               ///< process variation (Table II: 0.15)
+  /// Fraction of worn-out cells that become stuck-at-RESET (logical 0).
+  /// Stuck-at-RESET is the dominant PCM failure mode (Section II-B).
+  double stuck_at_reset_fraction = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// DDR3-style interface timings in memory-controller cycles (Table II,
+/// 400 MHz command clock; read 48 ns, RESET 40 ns, SET 150 ns).
+struct PcmTimingConfig {
+  std::uint32_t clock_mhz = 400;
+  std::uint32_t t_rdc = 60;      ///< row/read cycle
+  std::uint32_t t_cl = 5;        ///< CAS latency
+  std::uint32_t t_wl = 4;        ///< write latency
+  std::uint32_t t_ccd = 4;       ///< column-to-column delay
+  std::uint32_t t_wtr = 4;       ///< write-to-read turnaround
+  std::uint32_t t_rtp = 3;       ///< read-to-precharge
+  std::uint32_t t_rp = 60;       ///< precharge (PCM write commit dominates)
+  std::uint32_t t_rrd_act = 2;   ///< activate-to-activate
+  std::uint32_t t_rrd_pre = 11;  ///< precharge-to-precharge
+  std::uint32_t burst_length = 8;
+};
+
+/// Memory-organization parameters (Table II: 4 GB, 2 channels, 1 DIMM/channel,
+/// 1 rank/DIMM, 9x8-bit devices per rank, 4 banks per rank).
+struct PcmOrgConfig {
+  std::uint32_t channels = 2;
+  std::uint32_t ranks_per_channel = 1;
+  std::uint32_t banks_per_rank = 4;
+  std::uint32_t chips_per_rank = 9;  ///< 8 data + 1 ECC
+  std::uint64_t capacity_bytes = 4ull << 30;
+
+  [[nodiscard]] std::uint64_t total_lines() const { return capacity_bytes / kBlockBytes; }
+  [[nodiscard]] std::uint32_t total_banks() const {
+    return channels * ranks_per_channel * banks_per_rank;
+  }
+};
+
+}  // namespace pcmsim

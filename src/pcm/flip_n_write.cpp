@@ -1,0 +1,72 @@
+#include "pcm/flip_n_write.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+FlipNWriteCodec::FlipNWriteCodec(std::size_t group_bits) : group_bits_(group_bits) {
+  expects(group_bits > 0 && kBlockBits % group_bits == 0, "group size must divide 512");
+  expects(group_bits % 8 == 0, "group size must be byte aligned");
+}
+
+FlipNWriteCodec::Encoded FlipNWriteCodec::encode(const Block& data, const Block& stored,
+                                                 const std::vector<bool>& stored_flags) const {
+  expects(stored_flags.size() == groups_per_block(), "flag arity mismatch");
+  Encoded out;
+  out.invert_flags.resize(groups_per_block());
+  const std::size_t group_bytes = group_bits_ / 8;
+  for (std::size_t g = 0; g < groups_per_block(); ++g) {
+    const std::size_t off = g * group_bytes;
+    // Flips if we store the group plain vs inverted.
+    std::size_t plain = 0;
+    std::size_t inverted = 0;
+    for (std::size_t b = 0; b < group_bytes; ++b) {
+      const std::uint8_t want = data[off + b];
+      const std::uint8_t have = stored[off + b];
+      plain += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(want ^ have)));
+      inverted += static_cast<std::size_t>(
+          std::popcount(static_cast<unsigned>(static_cast<std::uint8_t>(~want) ^ have)));
+    }
+    // Account the flag cell itself: changing representation flips it.
+    const bool was_inverted = stored_flags[g];
+    const std::size_t plain_total = plain + (was_inverted ? 1 : 0);
+    const std::size_t inverted_total = inverted + (was_inverted ? 0 : 1);
+    const bool invert = inverted_total < plain_total;
+    out.invert_flags[g] = invert;
+    for (std::size_t b = 0; b < group_bytes; ++b) {
+      out.payload[off + b] = invert ? static_cast<std::uint8_t>(~data[off + b]) : data[off + b];
+    }
+  }
+  return out;
+}
+
+Block FlipNWriteCodec::decode(const Block& payload, const std::vector<bool>& flags) const {
+  expects(flags.size() == groups_per_block(), "flag arity mismatch");
+  Block out{};
+  const std::size_t group_bytes = group_bits_ / 8;
+  for (std::size_t g = 0; g < groups_per_block(); ++g) {
+    const std::size_t off = g * group_bytes;
+    for (std::size_t b = 0; b < group_bytes; ++b) {
+      out[off + b] = flags[g] ? static_cast<std::uint8_t>(~payload[off + b]) : payload[off + b];
+    }
+  }
+  return out;
+}
+
+std::size_t FlipNWriteCodec::dw_flips(const Block& data, const Block& stored) {
+  return hamming_distance(data, stored);
+}
+
+std::size_t FlipNWriteCodec::encoded_flips(const Block& data, const Block& stored,
+                                           const std::vector<bool>& stored_flags) const {
+  const Encoded enc = encode(data, stored, stored_flags);
+  std::size_t flips = hamming_distance(enc.payload, stored);
+  for (std::size_t g = 0; g < groups_per_block(); ++g) {
+    if (enc.invert_flags[g] != stored_flags[g]) ++flips;
+  }
+  return flips;
+}
+
+}  // namespace pcmsim

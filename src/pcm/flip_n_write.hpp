@@ -1,0 +1,49 @@
+// Flip-N-Write (Cho & Lee, MICRO 2009): chip-level write reduction that, per
+// data group, writes either the data or its complement — whichever flips
+// fewer cells versus the stored content — and records the choice in one flag
+// bit per group. Guarantees at most half the group's bits are programmed.
+//
+// pcmsim's baseline uses plain differential writes (as the paper assumes);
+// FlipNWriteCodec backs the `ablate_writereduce` study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+class FlipNWriteCodec {
+ public:
+  /// `group_bits` must divide 512; the canonical configuration is 32 or 64.
+  explicit FlipNWriteCodec(std::size_t group_bits = 64);
+
+  [[nodiscard]] std::size_t group_bits() const { return group_bits_; }
+  [[nodiscard]] std::size_t groups_per_block() const { return kBlockBits / group_bits_; }
+
+  struct Encoded {
+    Block payload{};                 ///< per-group possibly-inverted data
+    std::vector<bool> invert_flags;  ///< one flag per group (stored in flag cells)
+  };
+
+  /// Chooses per-group inversion that minimizes flips against `stored`
+  /// (with the previous flags `stored_flags` describing how `stored` is coded).
+  [[nodiscard]] Encoded encode(const Block& data, const Block& stored,
+                               const std::vector<bool>& stored_flags) const;
+
+  /// Reconstructs plain data from a stored payload and its flags.
+  [[nodiscard]] Block decode(const Block& payload, const std::vector<bool>& flags) const;
+
+  /// Flips that a plain differential write of `data` over `stored` would need.
+  [[nodiscard]] static std::size_t dw_flips(const Block& data, const Block& stored);
+
+  /// Flips an encode/write of `data` would need, including flag-bit flips.
+  [[nodiscard]] std::size_t encoded_flips(const Block& data, const Block& stored,
+                                          const std::vector<bool>& stored_flags) const;
+
+ private:
+  std::size_t group_bits_;
+};
+
+}  // namespace pcmsim

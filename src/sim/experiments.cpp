@@ -1,0 +1,69 @@
+#include "sim/experiments.hpp"
+
+#include <iostream>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+ExperimentScale ExperimentScale::fast() {
+  ExperimentScale s;
+  s.endurance_mean = 300;
+  s.physical_lines = 384;
+  return s;
+}
+
+ExperimentScale ExperimentScale::paper() {
+  ExperimentScale s;
+  s.endurance_mean = 1000;
+  s.physical_lines = 1024;
+  return s;
+}
+
+ExperimentScale ExperimentScale::from_flag(const std::string& which) {
+  if (which == "fast") return fast();
+  if (which == "paper") return paper();
+  return ExperimentScale{};
+}
+
+std::vector<LifetimeCell> run_lifetime_matrix(const std::vector<std::string>& apps,
+                                              const std::vector<SystemMode>& modes,
+                                              const ExperimentScale& scale, EccKind ecc) {
+  std::vector<LifetimeCell> cells;
+  for (const auto& name : apps) {
+    const AppProfile& app = profile_by_name(name);
+    for (const auto mode : modes) {
+      LifetimeConfig lc;
+      lc.system.mode = mode;
+      lc.system.ecc = ecc;
+      lc.system.device.lines = scale.physical_lines;
+      lc.system.device.endurance_mean = scale.endurance_mean;
+      lc.system.device.endurance_cov = scale.endurance_cov;
+      lc.system.device.seed = scale.seed + 17;
+      lc.system.seed = scale.seed;
+      lc.max_writes = 4'000'000'000ull;
+      std::cerr << "[lifetime] " << name << " / " << to_string(mode) << "..." << std::flush;
+      const auto result = run_lifetime(app, lc, scale.seed + 99);
+      std::cerr << " " << result.writes_to_failure << " writes\n";
+      cells.push_back(LifetimeCell{name, mode, result, lc});
+    }
+  }
+  return cells;
+}
+
+const LifetimeCell& matrix_cell(const std::vector<LifetimeCell>& cells, const std::string& app,
+                                SystemMode mode) {
+  for (const auto& c : cells) {
+    if (c.app == app && c.mode == mode) return c;
+  }
+  expects(false, "missing matrix cell");
+  return cells.front();
+}
+
+std::vector<std::string> all_app_names() {
+  std::vector<std::string> names;
+  for (const auto& app : spec2006_profiles()) names.push_back(app.name);
+  return names;
+}
+
+}  // namespace pcmsim

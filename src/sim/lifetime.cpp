@@ -1,0 +1,58 @@
+#include "sim/lifetime.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
+                            std::uint64_t trace_seed) {
+  PcmSystem system(config.system);
+  TraceGenerator gen(app, system.logical_lines(), trace_seed);
+
+  LifetimeResult result;
+  while (system.stats().writes < config.max_writes) {
+    const WritebackEvent ev = gen.next();
+    (void)system.write(ev.line, ev.data);
+    if (system.stats().writes % config.check_interval == 0 && system.failed()) {
+      result.reached_failure = true;
+      break;
+    }
+  }
+  const SystemStats& st = system.stats();
+  result.writes_to_failure = st.writes;
+  result.programmed_bits = static_cast<std::uint64_t>(st.flips_per_write.sum());
+  result.uncorrectable_events = st.uncorrectable_events;
+  result.recycled_lines = st.recycled_lines;
+  result.mean_faults_at_death = st.faults_at_death.mean();
+  result.mean_flips_per_write = st.flips_per_write.mean();
+  const double stored = static_cast<double>(st.compressed_writes + st.uncompressed_writes);
+  result.compressed_fraction =
+      stored > 0 ? static_cast<double>(st.compressed_writes) / stored : 0.0;
+  result.mean_compressed_size = st.compressed_size.mean();
+  result.energy_pj_per_write =
+      st.writes > 0 ? system.array().write_energy_pj() / static_cast<double>(st.writes) : 0.0;
+  return result;
+}
+
+double lifetime_months(const LifetimeResult& result, const LifetimeConfig& config,
+                       const AppProfile& app, const MonthsModel& model) {
+  // Writes the full-size memory would absorb before 50% capacity death:
+  // simulated writes, scaled by endurance (linear in per-cell cycles) and by
+  // region size (a k-times larger region absorbs k times the traffic for the
+  // same per-line wear profile).
+  const double endurance_scale = model.physical_endurance / config.system.device.endurance_mean;
+  const double region_scale = static_cast<double>(model.physical_lines) /
+                              static_cast<double>(config.system.device.lines);
+  const double physical_writes =
+      static_cast<double>(result.writes_to_failure) * endurance_scale * region_scale;
+
+  // Write-back rate of the 16-core CMP running this workload (Table II/III).
+  const double instr_per_sec = model.cores * model.clock_hz * model.ipc;
+  const double writes_per_sec = instr_per_sec * app.wpki / 1000.0;
+  expects(writes_per_sec > 0, "workload write rate must be positive");
+
+  const double seconds = physical_writes / writes_per_sec;
+  return seconds / (30.44 * 24 * 3600);
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,77 @@
+#include "sim/monte_carlo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+bool mc_trial_survives(const HardErrorScheme& scheme, std::size_t data_bytes,
+                       std::span<const std::uint16_t> positions, bool wrap_windows) {
+  const std::size_t window_bits = data_bytes * 8;
+
+  // Faults per byte, for a fast per-window fault count via prefix sums.
+  std::array<std::uint16_t, kBlockBytes + 1> prefix{};
+  for (auto p : positions) ++prefix[p / 8 + 1];
+  for (std::size_t i = 1; i <= kBlockBytes; ++i) {
+    prefix[i] = static_cast<std::uint16_t>(prefix[i] + prefix[i - 1]);
+  }
+  const auto count_in = [&](std::size_t start_byte) -> std::size_t {
+    const std::size_t end = start_byte + data_bytes;
+    if (end <= kBlockBytes) return prefix[end] - prefix[start_byte];
+    // wrapping window
+    return static_cast<std::size_t>(prefix[kBlockBytes] - prefix[start_byte]) +
+           prefix[end - kBlockBytes];
+  };
+
+  const std::size_t starts = wrap_windows
+                                 ? kBlockBytes
+                                 : (data_bytes <= kBlockBytes ? kBlockBytes - data_bytes + 1 : 0);
+  const std::size_t guaranteed = scheme.guaranteed_correctable();
+
+  std::vector<FaultCell> faults;
+  for (std::size_t start = 0; start < starts; ++start) {
+    const std::size_t n = count_in(start);
+    if (n <= guaranteed) return true;  // every pattern of that size is correctable
+
+    // Build window-relative fault positions for the full tolerance check.
+    faults.clear();
+    const std::size_t start_bit = start * 8;
+    for (auto p : positions) {
+      const std::size_t rel =
+          p >= start_bit ? p - start_bit : p + kBlockBits - start_bit;  // wrap distance
+      if (rel < window_bits) faults.push_back(FaultCell{static_cast<std::uint16_t>(rel), false});
+    }
+    std::sort(faults.begin(), faults.end(),
+              [](const FaultCell& a, const FaultCell& b) { return a.pos < b.pos; });
+    if (scheme.can_tolerate(faults, window_bits)) return true;
+  }
+  return false;
+}
+
+double mc_failure_probability(const HardErrorScheme& scheme, std::size_t data_bytes,
+                              std::size_t nerrors, const MonteCarloConfig& config, Rng& rng) {
+  expects(data_bytes >= 1 && data_bytes <= kBlockBytes, "data size must be 1..64 bytes");
+  expects(nerrors <= kBlockBits, "cannot inject more faults than cells");
+
+  // Partial Fisher-Yates over the 512 cell indices, reused across trials.
+  std::array<std::uint16_t, kBlockBits> cells{};
+  std::iota(cells.begin(), cells.end(), std::uint16_t{0});
+
+  std::size_t failures = 0;
+  std::vector<std::uint16_t> positions(nerrors);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    for (std::size_t i = 0; i < nerrors; ++i) {
+      const std::size_t j = i + rng.next_below(kBlockBits - i);
+      std::swap(cells[i], cells[j]);
+      positions[i] = cells[i];
+    }
+    if (!mc_trial_survives(scheme, data_bytes, positions, config.wrap_windows)) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(config.trials);
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,33 @@
+// Monte-Carlo fault injection for a single memory line (paper Fig 9).
+//
+// For a 512-bit line with N uniformly placed stuck cells (perfect intra-line
+// wear-leveling) and compressed data of S bytes, a trial *fails* when no
+// byte-aligned window of S bytes exists whose faults the error scheme can
+// still tolerate. The paper runs 100,000 injections per (scheme, S, N) point.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ecc/scheme.hpp"
+
+namespace pcmsim {
+
+struct MonteCarloConfig {
+  std::size_t trials = 100'000;
+  bool wrap_windows = true;  ///< rotation-style windows may wrap the line end
+};
+
+/// Failure probability (1 - reliability) of storing `data_bytes` in a line
+/// with exactly `nerrors` random stuck cells under `scheme`.
+[[nodiscard]] double mc_failure_probability(const HardErrorScheme& scheme,
+                                            std::size_t data_bytes, std::size_t nerrors,
+                                            const MonteCarloConfig& config, Rng& rng);
+
+/// One injection trial; exposed for tests. `positions` are the stuck-cell
+/// bit positions (values irrelevant for the tolerance decision).
+[[nodiscard]] bool mc_trial_survives(const HardErrorScheme& scheme, std::size_t data_bytes,
+                                     std::span<const std::uint16_t> positions,
+                                     bool wrap_windows);
+
+}  // namespace pcmsim

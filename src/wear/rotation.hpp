@@ -1,0 +1,59 @@
+// Intra-line wear-leveling (paper Section III-A.2).
+//
+// Compression confines bit flips to the low end of each line, so the window
+// start must rotate over time. To avoid per-line write counters, the paper
+// keeps ONE counter per bank: every `threshold` writes to the bank, the
+// bank's rotation offset advances by `step_bytes`; a line adopts the bank's
+// current offset the next time it is written (its 6-bit start pointer
+// metadata records where its window currently begins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+class IntraLineRotator {
+ public:
+  /// `threshold` is the bank-counter saturation value (the paper uses a
+  /// 16-bit counter, i.e. 65536; lifetime runs scale it with endurance).
+  IntraLineRotator(std::uint32_t banks, std::uint64_t threshold = std::uint64_t{1} << 16,
+                   std::uint32_t step_bytes = 1)
+      : threshold_(threshold), step_bytes_(step_bytes), counters_(banks, 0),
+        offsets_(banks, 0), rotations_(banks, 0) {
+    expects(banks > 0, "need at least one bank");
+    expects(threshold > 0, "rotation threshold must be positive");
+    expects(step_bytes > 0 && step_bytes < kBlockBytes, "step must be 1..63 bytes");
+  }
+
+  /// Offset (in bytes, < 64) new writes to this bank should start at.
+  [[nodiscard]] std::uint32_t offset_bytes(std::uint32_t bank) const {
+    return offsets_.at(bank);
+  }
+
+  /// Records one write to `bank`; advances the offset on counter saturation.
+  void on_write(std::uint32_t bank) {
+    auto& c = counters_.at(bank);
+    if (++c >= threshold_) {
+      c = 0;
+      offsets_[bank] = (offsets_[bank] + step_bytes_) % kBlockBytes;
+      ++rotations_[bank];
+    }
+  }
+
+  [[nodiscard]] std::uint64_t rotations(std::uint32_t bank) const { return rotations_.at(bank); }
+  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
+  [[nodiscard]] std::uint32_t banks() const { return static_cast<std::uint32_t>(counters_.size()); }
+
+ private:
+  std::uint64_t threshold_;
+  std::uint32_t step_bytes_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint64_t> rotations_;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,312 @@
+#include "workload/app_profile.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+std::string_view to_string(Compressibility c) {
+  switch (c) {
+    case Compressibility::kHigh: return "H";
+    case Compressibility::kMedium: return "M";
+    case Compressibility::kLow: return "L";
+  }
+  return "?";
+}
+
+namespace {
+
+using VC = ValueClass;
+
+/// Shorthand: {class, weight, param_lo, param_hi, aux, mutate_min, mutate_max}.
+ValueClassSpec spec(VC cls, double weight, std::uint8_t plo, std::uint8_t phi,
+                    std::uint8_t aux = 0, std::uint8_t mmin = 1, std::uint8_t mmax = 4,
+                    std::uint8_t toggle = 16) {
+  ValueClassSpec s;
+  s.cls = cls;
+  s.weight = weight;
+  s.param_lo = plo;
+  s.param_hi = phi;
+  s.aux = aux;
+  s.mutate_min = mmin;
+  s.mutate_max = mmax;
+  s.toggle_prob_256 = toggle;
+  return s;
+}
+
+std::vector<AppProfile> make_profiles() {
+  std::vector<AppProfile> apps;
+
+  // Reference compressed sizes (best of BDI/FPC, bytes) used while choosing
+  // class mixtures — see tests/workload_calibration_test.cpp for the measured
+  // values per app:
+  //   zero-page p<=2 ~2-4 | small-int p1 14, p2 22, p4 38 | n64 d1 17, d2 25,
+  //   d4 41 | n32 d1 22, d2 38 | float p4 41, p5+ 64 | fpc-mixed(z,s) ~
+  //   ceil((6z + 11s + 35(16-z-s))/8) | random 64.
+
+  {  // GemsFDTD — low compressibility FDTD solver: FP grids + raw buffers.
+    AppProfile a;
+    a.name = "GemsFDTD";
+    a.wpki = 4.15;
+    a.table_cr = 0.70;
+    a.bucket = Compressibility::kLow;
+    a.working_set_lines = 1 << 20;
+    a.zipf_theta = 0.45;
+    a.shape_redraw_prob = 0.08;
+    a.classes = {spec(VC::kFpcMixed, 0.55, 6, 8, 3, 2, 6, 40), spec(VC::kFloatArray, 0.25, 4, 5),
+                 spec(VC::kRandom, 0.20, 1, 1, 0, 2, 6)};
+    a.mem_access_per_inst = 0.42;
+    a.store_fraction = 0.36;
+    apps.push_back(a);
+  }
+  {  // lbm — streaming lattice-Boltzmann: large FP lines, mostly FPC-shaped.
+    AppProfile a;
+    a.name = "lbm";
+    a.wpki = 15.6;
+    a.table_cr = 0.79;
+    a.bucket = Compressibility::kLow;
+    a.working_set_lines = 1 << 21;
+    a.zipf_theta = 0.25;
+    a.shape_redraw_prob = 0.10;
+    a.classes = {spec(VC::kFpcMixed, 0.80, 3, 5, 2, 3, 8, 48), spec(VC::kRandom, 0.20, 1, 1, 0, 3, 8)};
+    a.mem_access_per_inst = 0.48;
+    a.store_fraction = 0.42;
+    apps.push_back(a);
+  }
+  {  // bzip2 — compression tool: buffers whose content class changes per phase
+     // (the paper singles out its compressed-size volatility, Fig 6/7).
+    AppProfile a;
+    a.name = "bzip2";
+    a.wpki = 4.6;
+    a.table_cr = 0.53;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 18;
+    a.zipf_theta = 0.7;
+    a.shape_redraw_prob = 0.25;
+    a.classes = {spec(VC::kFpcMixed, 0.70, 4, 14, 2, 2, 6, 112), spec(VC::kRandom, 0.15, 1, 1),
+                 spec(VC::kZeroPage, 0.15, 1, 3)};
+    a.mem_access_per_inst = 0.36;
+    a.store_fraction = 0.34;
+    apps.push_back(a);
+  }
+  {  // leslie3d — FP stencil whose lines stay BDI-compressible (fixed-position
+     // deltas), hence "untouched" bit flips despite low CR (Fig 5).
+    AppProfile a;
+    a.name = "leslie3d";
+    a.wpki = 8.32;
+    a.table_cr = 0.70;
+    a.bucket = Compressibility::kLow;
+    a.working_set_lines = 1 << 20;
+    a.zipf_theta = 0.35;
+    a.shape_redraw_prob = 0.03;
+    a.classes = {spec(VC::kFloatArray, 0.75, 4, 4, 0, 2, 5), spec(VC::kFloatArray, 0.25, 5, 6)};
+    a.mem_access_per_inst = 0.44;
+    a.store_fraction = 0.38;
+    apps.push_back(a);
+  }
+  {  // hmmer — HMM scoring tables: stable 16-bit-delta arrays (low volatility,
+     // the paper's counter-example to bzip2 in Fig 7).
+    AppProfile a;
+    a.name = "hmmer";
+    a.wpki = 1.9;
+    a.table_cr = 0.59;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 18;
+    a.zipf_theta = 0.9;
+    a.shape_redraw_prob = 0.02;
+    a.classes = {spec(VC::kNarrowInt32, 0.80, 2, 2, 0, 2, 6), spec(VC::kSmallInt, 0.20, 4, 4)};
+    a.mem_access_per_inst = 0.40;
+    a.store_fraction = 0.30;
+    apps.push_back(a);
+  }
+  {  // mcf — pointer-chasing MST solver: node structs (pointers + flags).
+    AppProfile a;
+    a.name = "mcf";
+    a.wpki = 10.35;
+    a.table_cr = 0.55;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 21;
+    a.zipf_theta = 0.6;
+    a.shape_redraw_prob = 0.12;
+    a.classes = {spec(VC::kPointerHeap, 0.50, 2, 2, 0, 1, 4), spec(VC::kSmallInt, 0.20, 1, 1),
+                 spec(VC::kRandom, 0.30, 1, 1)};
+    a.mem_access_per_inst = 0.46;
+    a.store_fraction = 0.28;
+    apps.push_back(a);
+  }
+  {  // gobmk — Go engine: heterogeneous board structs; wide flip spread (Fig 1).
+    AppProfile a;
+    a.name = "gobmk";
+    a.wpki = 1.14;
+    a.table_cr = 0.39;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 18;
+    a.zipf_theta = 0.85;
+    a.shape_redraw_prob = 0.10;
+    a.classes = {spec(VC::kSmallInt, 0.40, 2, 2, 0, 1, 12), spec(VC::kPointerHeap, 0.30, 2, 2, 0, 1, 10),
+                 spec(VC::kFpcMixed, 0.30, 6, 8, 4, 1, 12)};
+    a.mem_access_per_inst = 0.33;
+    a.store_fraction = 0.32;
+    apps.push_back(a);
+  }
+  {  // bwaves — blast-wave CFD: narrow FP deltas.
+    AppProfile a;
+    a.name = "bwaves";
+    a.wpki = 9.78;
+    a.table_cr = 0.34;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 21;
+    a.zipf_theta = 0.3;
+    a.shape_redraw_prob = 0.05;
+    a.classes = {spec(VC::kNarrowInt64, 0.70, 1, 2, 0, 2, 6), spec(VC::kFpcMixed, 0.30, 8, 10, 4)};
+    a.mem_access_per_inst = 0.45;
+    a.store_fraction = 0.40;
+    apps.push_back(a);
+  }
+  {  // astar — path-finding: pointer-rich nodes plus small scalars.
+    AppProfile a;
+    a.name = "astar";
+    a.wpki = 1.04;
+    a.table_cr = 0.53;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 18;
+    a.zipf_theta = 0.75;
+    a.shape_redraw_prob = 0.15;
+    a.classes = {spec(VC::kPointerHeap, 0.50, 2, 4), spec(VC::kFpcMixed, 0.30, 4, 4, 2),
+                 spec(VC::kSmallInt, 0.20, 2, 2)};
+    a.mem_access_per_inst = 0.38;
+    a.store_fraction = 0.30;
+    apps.push_back(a);
+  }
+  {  // calculix — FEM: 32-bit index arrays and modest-delta FP.
+    AppProfile a;
+    a.name = "calculix";
+    a.wpki = 1.08;
+    a.table_cr = 0.37;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 17;
+    a.zipf_theta = 0.7;
+    a.shape_redraw_prob = 0.06;
+    a.classes = {spec(VC::kNarrowInt32, 0.60, 1, 1, 0, 2, 5), spec(VC::kNarrowInt64, 0.20, 2, 2),
+                 spec(VC::kFpcMixed, 0.20, 6, 8, 4)};
+    a.mem_access_per_inst = 0.40;
+    a.store_fraction = 0.33;
+    apps.push_back(a);
+  }
+  {  // sjeng — chess engine: hash tables dominated by zero/flag words.
+    AppProfile a;
+    a.name = "sjeng";
+    a.wpki = 4.38;
+    a.table_cr = 0.08;
+    a.bucket = Compressibility::kHigh;
+    a.working_set_lines = 1 << 19;
+    a.zipf_theta = 0.55;
+    a.shape_redraw_prob = 0.05;
+    a.classes = {spec(VC::kZeroPage, 0.85, 2, 4, 0, 1, 3), spec(VC::kSmallInt, 0.15, 1, 1)};
+    a.mem_access_per_inst = 0.34;
+    a.store_fraction = 0.36;
+    apps.push_back(a);
+  }
+  {  // gcc — compiler: the paper's example of uniformly spread compressed
+     // sizes (Fig 11a) and high size volatility (Fig 6).
+    AppProfile a;
+    a.name = "gcc";
+    a.wpki = 8.05;
+    a.table_cr = 0.50;
+    a.bucket = Compressibility::kMedium;
+    a.working_set_lines = 1 << 19;
+    a.zipf_theta = 0.65;
+    a.shape_redraw_prob = 0.15;
+    a.classes = {spec(VC::kNarrowInt64, 0.35, 1, 3), spec(VC::kFpcMixed, 0.35, 6, 12, 2, 1, 4, 72),
+                 spec(VC::kSmallInt, 0.20, 1, 2), spec(VC::kRandom, 0.10, 1, 1)};
+    a.mem_access_per_inst = 0.39;
+    a.store_fraction = 0.35;
+    apps.push_back(a);
+  }
+  {  // zeusmp — astrophysics CFD with mostly-zero state regions.
+    AppProfile a;
+    a.name = "zeusmp";
+    a.wpki = 5.46;
+    a.table_cr = 0.05;
+    a.bucket = Compressibility::kHigh;
+    a.working_set_lines = 1 << 20;
+    a.zipf_theta = 0.4;
+    a.shape_redraw_prob = 0.04;
+    a.classes = {spec(VC::kZeroPage, 0.90, 1, 2, 0, 1, 3), spec(VC::kSmallInt, 0.10, 1, 1)};
+    a.mem_access_per_inst = 0.43;
+    a.store_fraction = 0.39;
+    apps.push_back(a);
+  }
+  {  // milc — QCD: bimodal — mostly tiny SU(3) scalars plus a band of wide FP
+     // lines (the 80%/20% split of Fig 11b).
+    AppProfile a;
+    a.name = "milc";
+    a.wpki = 3.4;
+    a.table_cr = 0.29;
+    a.bucket = Compressibility::kHigh;
+    a.working_set_lines = 1 << 20;
+    a.zipf_theta = 0.5;
+    a.shape_redraw_prob = 0.04;
+    a.classes = {spec(VC::kSmallInt, 0.50, 1, 1, 0, 2, 5), spec(VC::kNarrowInt64, 0.30, 1, 1),
+                 spec(VC::kFloatArray, 0.20, 4, 5)};
+    a.mem_access_per_inst = 0.41;
+    a.store_fraction = 0.37;
+    apps.push_back(a);
+  }
+  {  // cactusADM — numerical relativity: overwhelmingly zero-dominated lines.
+    AppProfile a;
+    a.name = "cactusADM";
+    a.wpki = 8.09;
+    a.table_cr = 0.03;
+    a.bucket = Compressibility::kHigh;
+    a.working_set_lines = 1 << 20;
+    a.zipf_theta = 0.35;
+    a.shape_redraw_prob = 0.03;
+    a.classes = {spec(VC::kZeroPage, 0.96, 0, 1, 0, 1, 2), spec(VC::kSmallInt, 0.04, 1, 1)};
+    a.mem_access_per_inst = 0.44;
+    a.store_fraction = 0.41;
+    apps.push_back(a);
+  }
+
+  return apps;
+}
+
+}  // namespace
+
+ClassAssigner::ClassAssigner(const AppProfile& app, std::uint64_t seed)
+    : app_(&app), seed_(seed) {
+  expects(!app.classes.empty(), "app profile has no value classes");
+  double total = 0.0;
+  for (const auto& c : app.classes) total += c.weight;
+  expects(total > 0.0, "class weights must be positive");
+  double acc = 0.0;
+  for (const auto& c : app.classes) {
+    acc += c.weight / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+const ValueClassSpec& ClassAssigner::of(LineAddr line) const {
+  const double u = static_cast<double>(mix64(line ^ 0xC1A55ull ^ seed_) >> 11) * 0x1.0p-53;
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    if (u <= cdf_[i]) return app_->classes[i];
+  }
+  return app_->classes.back();
+}
+
+const std::vector<AppProfile>& spec2006_profiles() {
+  static const std::vector<AppProfile> profiles = make_profiles();
+  return profiles;
+}
+
+const AppProfile& profile_by_name(std::string_view name) {
+  for (const auto& p : spec2006_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown workload: " + std::string(name));
+}
+
+}  // namespace pcmsim

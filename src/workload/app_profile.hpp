@@ -1,0 +1,65 @@
+// SPEC CPU2006 application models (paper Table III).
+//
+// Each profile captures, per application: write-back intensity (WPKI), the
+// target compression ratio (CR) from Table III, write-address locality, value
+// composition (a weighted mixture of value classes), and rewrite volatility.
+// The numeric knobs were calibrated so that measured best-of-BDI/FPC sizes
+// reproduce Table III / Figure 3 and size-change probabilities reproduce the
+// Figure 6 app ranking (see bench/fig03_compressed_size and tests).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/value_model.hpp"
+
+namespace pcmsim {
+
+/// Paper's compressibility buckets (Table III): CR < 0.3 high, > 0.7 low.
+enum class Compressibility : std::uint8_t { kHigh, kMedium, kLow };
+
+[[nodiscard]] std::string_view to_string(Compressibility c);
+
+struct AppProfile {
+  std::string name;
+  double wpki = 1.0;       ///< L2 write-backs per kilo-instruction (Table III)
+  double table_cr = 0.5;   ///< Table III compression ratio (calibration target)
+  Compressibility bucket = Compressibility::kMedium;
+
+  // Write-address behaviour.
+  std::uint64_t working_set_lines = std::uint64_t{1} << 18;
+  double zipf_theta = 0.8;  ///< skew of write popularity across the working set
+
+  // Value behaviour.
+  std::vector<ValueClassSpec> classes;  ///< weighted mixture over lines
+  double shape_redraw_prob = 0.05;      ///< P(shape change) per rewrite (Fig 6 knob)
+
+  // Core-side behaviour, used by the cache front-end (src/cache) to recover
+  // Table III WPKI through a real L1/L2 hierarchy.
+  double mem_access_per_inst = 0.35;  ///< loads+stores per instruction
+  double store_fraction = 0.35;       ///< stores / (loads + stores)
+};
+
+/// Deterministically assigns each line address to one of an app's value
+/// classes, weighted by ValueClassSpec::weight.
+class ClassAssigner {
+ public:
+  ClassAssigner(const AppProfile& app, std::uint64_t seed);
+
+  /// The class governing `line`'s contents. Stable across calls.
+  [[nodiscard]] const ValueClassSpec& of(LineAddr line) const;
+
+ private:
+  const AppProfile* app_;
+  std::uint64_t seed_;
+  std::vector<double> cdf_;
+};
+
+/// All 15 evaluated workloads, in the paper's Figure 3 order.
+[[nodiscard]] const std::vector<AppProfile>& spec2006_profiles();
+
+/// Lookup by name; throws std::out_of_range for unknown workloads.
+[[nodiscard]] const AppProfile& profile_by_name(std::string_view name);
+
+}  // namespace pcmsim

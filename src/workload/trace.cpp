@@ -1,0 +1,108 @@
+#include "workload/trace.hpp"
+
+#include "common/assert.hpp"
+
+namespace pcmsim {
+
+namespace {
+constexpr std::uint64_t kTraceMagic = 0x50434d5452414345ull;  // "PCMTRACE"
+}
+
+TraceGenerator::TraceGenerator(const AppProfile& app, std::uint64_t region_lines,
+                               std::uint64_t seed)
+    : app_(app),
+      region_lines_(region_lines),
+      seed_(seed),
+      rng_(mix64(seed ^ 0x7ac3ull)),
+      zipf_(app.working_set_lines, app.zipf_theta),
+      classes_(app_, seed) {
+  expects(region_lines > 0, "region must be non-empty");
+}
+
+LineAddr TraceGenerator::fold(std::uint64_t rank) const {
+  // Stable pseudo-random rank->line map; decouples Zipf popularity rank from
+  // spatial position and from the hash that assigns value classes.
+  return mix64(rank ^ (seed_ * 0x2545F4914F6CDD1Dull)) % region_lines_;
+}
+
+const ValueClassSpec& TraceGenerator::class_of(LineAddr line) const {
+  return classes_.of(line);
+}
+
+WritebackEvent TraceGenerator::next() {
+  const std::uint64_t rank = zipf_.sample(rng_);
+  const LineAddr line = fold(rank);
+  auto [it, fresh] = states_.try_emplace(line);
+  auto& st = it->second;
+  if (fresh) {
+    st.shape = static_cast<std::uint32_t>(mix64(line ^ seed_ ^ 0xBEEFull));
+    st.version = 0;
+  } else {
+    ++st.version;
+    if (rng_.next_bool(app_.shape_redraw_prob)) {
+      st.shape = static_cast<std::uint32_t>(rng_());
+      st.version = 0;
+    }
+  }
+  ++events_;
+  return WritebackEvent{line, generate_value(class_of(line), line, st.shape, st.version)};
+}
+
+Block TraceGenerator::current_value(LineAddr line) const {
+  const auto it = states_.find(line);
+  if (it == states_.end()) return zero_block();
+  return generate_value(class_of(line), line, it->second.shape, it->second.version);
+}
+
+TraceWriter::TraceWriter(const std::string& path) : out_(path, std::ios::binary) {
+  expects(out_.good(), "cannot open trace file for writing");
+  const std::uint64_t zero = 0;
+  out_.write(reinterpret_cast<const char*>(&kTraceMagic), 8);
+  out_.write(reinterpret_cast<const char*>(&zero), 8);  // patched in close()
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() explicitly to observe failures.
+  }
+}
+
+void TraceWriter::append(const WritebackEvent& ev) {
+  expects(!closed_, "trace writer already closed");
+  out_.write(reinterpret_cast<const char*>(&ev.line), 8);
+  out_.write(reinterpret_cast<const char*>(ev.data.data()),
+             static_cast<std::streamsize>(ev.data.size()));
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(8);
+  out_.write(reinterpret_cast<const char*>(&count_), 8);
+  out_.close();
+  ensures(out_.good(), "trace file close failed");
+}
+
+TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
+  expects(in_.good(), "cannot open trace file for reading");
+  std::uint64_t magic = 0;
+  in_.read(reinterpret_cast<char*>(&magic), 8);
+  expects(magic == kTraceMagic, "not a pcmsim trace file");
+  in_.read(reinterpret_cast<char*>(&count_), 8);
+}
+
+std::optional<WritebackEvent> TraceReader::next() {
+  if (read_ >= count_) return std::nullopt;
+  WritebackEvent ev;
+  in_.read(reinterpret_cast<char*>(&ev.line), 8);
+  in_.read(reinterpret_cast<char*>(ev.data.data()),
+           static_cast<std::streamsize>(ev.data.size()));
+  expects(in_.good(), "trace file truncated");
+  ++read_;
+  return ev;
+}
+
+}  // namespace pcmsim

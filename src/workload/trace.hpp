@@ -1,0 +1,106 @@
+// Write-back trace generation and (de)serialization.
+//
+// The paper collects LLC write-back traces in gem5 and replays them against a
+// lightweight PCM lifetime simulator. Here TraceGenerator produces an
+// *unbounded* calibrated write-back stream instead: replaying a finite
+// recorded trace verbatim would be degenerate under differential writes (the
+// second pass would rewrite identical values and flip nothing), so the
+// lifetime engine consumes a continuing stream whose values keep evolving —
+// equivalent to concatenating ever-longer gem5 traces.
+//
+// Finite traces can still be captured to disk (TraceWriter/TraceReader) for
+// inspection, tests, and the cache front-end interop.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "workload/app_profile.hpp"
+
+namespace pcmsim {
+
+/// One LLC write-back: a line address and the full 64-byte value written.
+struct WritebackEvent {
+  LineAddr line = 0;
+  Block data{};
+};
+
+class TraceGenerator {
+ public:
+  /// `region_lines` folds the app's working set onto the simulated PCM
+  /// region (the standard trace-sampling methodology for lifetime studies).
+  TraceGenerator(const AppProfile& app, std::uint64_t region_lines, std::uint64_t seed);
+
+  // Non-copyable: the class assigner points into the stored profile copy.
+  TraceGenerator(const TraceGenerator&) = delete;
+  TraceGenerator& operator=(const TraceGenerator&) = delete;
+
+  /// Produces the next write-back (address + new value).
+  [[nodiscard]] WritebackEvent next();
+
+  /// Value most recently produced for `line` (all-zero if never written).
+  [[nodiscard]] Block current_value(LineAddr line) const;
+
+  /// The value class governing `line`'s contents.
+  [[nodiscard]] const ValueClassSpec& class_of(LineAddr line) const;
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] std::uint64_t region_lines() const { return region_lines_; }
+  [[nodiscard]] const AppProfile& app() const { return app_; }
+
+ private:
+  struct LineState {
+    std::uint32_t shape = 0;
+    std::uint32_t version = 0;
+  };
+
+  [[nodiscard]] LineAddr fold(std::uint64_t rank) const;
+
+  AppProfile app_;
+  std::uint64_t region_lines_;
+  std::uint64_t seed_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  ClassAssigner classes_;
+  std::unordered_map<LineAddr, LineState> states_;
+  std::uint64_t events_ = 0;
+};
+
+/// Binary trace file: 16-byte header (magic + count) then packed records.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const WritebackEvent& ev);
+  void close();  ///< finalizes the header; called by the destructor too
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Next record, or nullopt at end of trace.
+  [[nodiscard]] std::optional<WritebackEvent> next();
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,275 @@
+#include "workload/value_model.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+namespace {
+
+constexpr std::size_t kWords32 = kBlockBytes / 4;  // 16 four-byte slots
+constexpr std::size_t kWords64 = kBlockBytes / 8;  // 8 eight-byte slots
+
+std::uint64_t h(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0, std::uint64_t d = 0) {
+  return mix64(a * 0x9e3779b97f4a7c15ull ^ mix64(b + 0x6a09e667f3bcc909ull) ^
+               mix64(c + 0xbb67ae8584caa73bull) ^ (d << 1));
+}
+
+void put32(Block& b, std::size_t slot, std::uint32_t v) {
+  std::memcpy(b.data() + slot * 4, &v, 4);
+}
+
+void put64(Block& b, std::size_t slot, std::uint64_t v) {
+  std::memcpy(b.data() + slot * 8, &v, 8);
+}
+
+/// Shape parameter drawn uniformly from [param_lo, param_hi] for this shape.
+std::uint8_t draw_param(const ValueClassSpec& spec, std::uint64_t seed0) {
+  if (spec.param_hi <= spec.param_lo) return spec.param_lo;
+  const auto span = static_cast<std::uint64_t>(spec.param_hi - spec.param_lo + 1);
+  return static_cast<std::uint8_t>(spec.param_lo + (h(seed0, 0x9a9a) % span));
+}
+
+}  // namespace
+
+std::string_view to_string(ValueClass c) {
+  switch (c) {
+    case ValueClass::kZeroPage: return "zero-page";
+    case ValueClass::kSmallInt: return "small-int";
+    case ValueClass::kNarrowInt64: return "narrow-i64";
+    case ValueClass::kNarrowInt32: return "narrow-i32";
+    case ValueClass::kPointerHeap: return "pointer";
+    case ValueClass::kFloatArray: return "float-array";
+    case ValueClass::kFpcMixed: return "fpc-mixed";
+    case ValueClass::kRandom: return "random";
+  }
+  return "?";
+}
+
+Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32_t shape,
+                     std::uint32_t version) {
+  const std::uint64_t seed0 = h(line, shape, static_cast<std::uint64_t>(spec.cls));
+  const std::uint8_t param = draw_param(spec, seed0);
+  switch (spec.cls) {
+    case ValueClass::kSmallInt:
+      expects(param >= 1 && param <= 4, "kSmallInt param must be 1..4 nibbles");
+      break;
+    case ValueClass::kNarrowInt64:
+    case ValueClass::kPointerHeap:
+    case ValueClass::kFloatArray:
+      expects(param >= 1 && param <= 7, "64-bit class param must be 1..7 bytes");
+      break;
+    case ValueClass::kNarrowInt32:
+      expects(param >= 1 && param <= 3, "kNarrowInt32 param must be 1..3 bytes");
+      break;
+    case ValueClass::kFpcMixed:
+      expects(param <= 16 && spec.aux <= 16, "kFpcMixed composition exceeds 16 words");
+      break;
+    default:
+      break;
+  }
+  Block b{};
+
+  // ---- Base content (a pure function of the shape) -------------------------
+  switch (spec.cls) {
+    case ValueClass::kZeroPage: {
+      // `param` non-zero small words at hashed positions; rest zero. A small
+      // cluster of sign16-range values "moves" across the block on rewrites
+      // (sparse-structure updates): zeroing its old position collapses into a
+      // zero-run token, which is how compression *reduces* flips on
+      // zero-dominated data (Fig 5's "decreased" bars for high-CR apps).
+      // Values are signed small integers: in two's complement a sign change
+      // flips ~29 raw bits but only ~2 bits of the sign-extended FPC token —
+      // the redundancy that makes compression cut flips on this data.
+      for (std::uint8_t i = 0; i < param; ++i) {
+        const std::size_t slot = h(seed0, 0x11, i) % kWords32;
+        const auto m = static_cast<std::int32_t>(h(seed0, 0x12, i) % 15 + 1);
+        put32(b, slot, static_cast<std::uint32_t>((h(seed0, 0x13, i) & 1) ? -m : m));
+      }
+      const std::size_t g = 1 + h(seed0, 0xA3) % 2;  // cluster size, fixed per shape
+      // The cluster relocates every ~8 rewrites (values refresh every time),
+      // so compressed sizes stay stable between moves (Fig 6's low values for
+      // zero-dominated apps) while moves still exercise zero-run absorption.
+      const std::size_t start = h(seed0, 0xA1, version / 8) % (kWords32 - g);
+      for (std::size_t i = 0; i < g; ++i) {
+        const auto m = static_cast<std::int32_t>(h(seed0, 0xA2, version, i) % 30000 + 1);
+        put32(b, start + i,
+              static_cast<std::uint32_t>((h(seed0, 0xA4, version, i) & 1) ? -m : m));
+      }
+      break;
+    }
+    case ValueClass::kSmallInt: {
+      // Every word is a small signed value of `param` nibbles of magnitude
+      // (param=1 -> FPC sign4, param=2 -> sign8, param=4 -> sign16).
+      const unsigned bits = static_cast<unsigned>(param) * 4;
+      for (std::size_t i = 0; i < kWords32; ++i) {
+        const auto magnitude = static_cast<std::uint32_t>(h(seed0, 0x21, i) & ((1u << (bits - 1)) - 1));
+        const bool neg = h(seed0, 0x22, i) & 1u;
+        put32(b, i, neg ? ~magnitude : magnitude);
+      }
+      break;
+    }
+    case ValueClass::kNarrowInt64:
+    case ValueClass::kPointerHeap: {
+      // 8 eight-byte values sharing the top bytes; `param` low bytes vary.
+      // Pointer bases confine to the canonical 48-bit user region.
+      std::uint64_t base = h(seed0, 0x31);
+      if (spec.cls == ValueClass::kPointerHeap) base &= 0x0000'7FFF'FFFF'F000ull;
+      const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;  // fits signed delta
+      base &= ~((1ull << (low_bits + 1)) - 1);
+      for (std::size_t i = 0; i < kWords64; ++i) {
+        put64(b, i, base | (h(seed0, 0x32, i) & ((1ull << low_bits) - 1)));
+      }
+      break;
+    }
+    case ValueClass::kNarrowInt32: {
+      std::uint64_t base = h(seed0, 0x41) & 0xFFFFFFFFull;
+      const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;
+      base &= ~((1ull << (low_bits + 1)) - 1);
+      for (std::size_t i = 0; i < kWords32; ++i) {
+        put32(b, i, static_cast<std::uint32_t>(base | (h(seed0, 0x42, i) & ((1ull << low_bits) - 1))));
+      }
+      break;
+    }
+    case ValueClass::kFloatArray: {
+      // 8 doubles sharing sign/exponent/top mantissa; `param` low bytes are
+      // noise (param <= 4 keeps the line BDI-b8d compressible; 5+ does not).
+      const std::uint64_t top = h(seed0, 0x51) | 0x3FF0'0000'0000'0000ull;
+      const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;
+      const std::uint64_t base = top & ~((1ull << (low_bits + 1)) - 1);
+      for (std::size_t i = 0; i < kWords64; ++i) {
+        put64(b, i, base | (h(seed0, 0x52, i) & ((1ull << low_bits) - 1)));
+      }
+      break;
+    }
+    case ValueClass::kFpcMixed: {
+      // `param` zero words and `aux` small words at hashed positions; the
+      // rest are raw (incompressible) words. FPC packs this mixture into a
+      // variable-length stream, so value changes shift downstream bits.
+      bool zero_slot[kWords32] = {};
+      bool small_slot[kWords32] = {};
+      for (std::uint8_t i = 0; i < param; ++i) zero_slot[h(seed0, 0x61, i) % kWords32] = true;
+      std::uint8_t placed = 0;
+      for (std::uint8_t t = 0; placed < spec.aux && t < 64; ++t) {
+        const std::size_t slot = h(seed0, 0x62, t) % kWords32;
+        if (!zero_slot[slot] && !small_slot[slot]) {
+          small_slot[slot] = true;
+          ++placed;
+        }
+      }
+      for (std::size_t i = 0; i < kWords32; ++i) {
+        if (zero_slot[i]) continue;
+        if (small_slot[i]) {
+          put32(b, i, static_cast<std::uint32_t>(h(seed0, 0x63, i) % 100));
+        } else {
+          std::uint32_t raw = static_cast<std::uint32_t>(h(seed0, 0x64, i));
+          if (raw < 0x10000u) raw |= 0x01000000u;  // keep raw words genuinely raw
+          put32(b, i, raw);
+        }
+      }
+      break;
+    }
+    case ValueClass::kRandom: {
+      for (std::size_t i = 0; i < kWords32; ++i) {
+        put32(b, i, static_cast<std::uint32_t>(h(seed0, 0x71, i)));
+      }
+      break;
+    }
+  }
+
+  if (version == 0) return b;
+
+  // ---- Rewrite dynamics -----------------------------------------------------
+  // A version-dependent set of word slots is overwritten with fresh values of
+  // the same magnitude class. Slots are drawn per version, so under DW the
+  // flipped bits scatter randomly over the whole block across consecutive
+  // writes — the behaviour the paper's Figure 1 documents for real SPEC data.
+  // Size changes come from shape redraws in the trace generator, not from
+  // mutations (values stay within their class's magnitude).
+  const std::uint8_t span = static_cast<std::uint8_t>(
+      spec.mutate_max >= spec.mutate_min ? spec.mutate_max - spec.mutate_min + 1 : 1);
+  const std::uint8_t k =
+      static_cast<std::uint8_t>(spec.mutate_min + h(line, shape, version) % span);
+
+  for (std::uint8_t j = 0; j < k && j < kWords32; ++j) {
+    const std::size_t slot = h(seed0, 0x5107 + j, version) % kWords32;
+    const std::uint64_t hv = h(seed0, 0x80 + j, version);
+    switch (spec.cls) {
+      case ValueClass::kZeroPage: {
+        // Rewrites update the values of the *existing* non-zero words; the
+        // zero structure (and hence the compressed size) stays stable, as in
+        // real zero-dominated data (zeusmp/cactusADM are low in Fig 6).
+        if (param == 0) break;
+        const std::size_t nz = h(seed0, 0x11, j % param) % kWords32;
+        const auto m = static_cast<std::int32_t>(hv % 15 + 1);
+        put32(b, nz, static_cast<std::uint32_t>((hv >> 40 & 1) ? -m : m));
+        break;
+      }
+      case ValueClass::kSmallInt: {
+        const unsigned bits = static_cast<unsigned>(param) * 4;
+        put32(b, slot, static_cast<std::uint32_t>(hv & ((1u << (bits - 1)) - 1)));
+        break;
+      }
+      case ValueClass::kNarrowInt64:
+      case ValueClass::kPointerHeap:
+      case ValueClass::kFloatArray: {
+        // Float arrays keep their BDI base word stable: in stencil sweeps the
+        // leading element co-varies with its neighbours, so deltas move by
+        // small amounts rather than the whole image churning (leslie3d's
+        // "untouched" bit-flip profile in Fig 5).
+        const std::size_t w64 =
+            spec.cls == ValueClass::kFloatArray ? 1 + (slot % (kWords64 - 1)) : slot / 2;
+        std::uint64_t cur;
+        std::memcpy(&cur, b.data() + w64 * 8, 8);
+        const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;
+        cur = (cur & ~((1ull << low_bits) - 1)) | (hv & ((1ull << low_bits) - 1));
+        put64(b, w64, cur);
+        break;
+      }
+      case ValueClass::kNarrowInt32: {
+        std::uint32_t cur;
+        std::memcpy(&cur, b.data() + slot * 4, 4);
+        const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;
+        cur = (cur & ~((1u << low_bits) - 1)) |
+              static_cast<std::uint32_t>(hv & ((1ull << low_bits) - 1));
+        put32(b, slot, cur);
+        break;
+      }
+      case ValueClass::kFpcMixed: {
+        // Mostly mutate in kind (small stays small, raw stays raw), but one
+        // in four mutations changes the word's FPC pattern class. A class
+        // change alters the token length, so the packed stream shifts and
+        // downstream bits churn — the mechanism behind bzip2/gcc's increased
+        // flips despite decent compression ratios (Section III-A.1, Fig 5/6).
+        std::uint32_t cur;
+        std::memcpy(&cur, b.data() + slot * 4, 4);
+        const bool toggle_class = ((hv >> 48) & 0xFF) < spec.toggle_prob_256;
+        std::uint32_t raw = static_cast<std::uint32_t>(hv);
+        if (raw < 0x10000u) raw |= 0x01000000u;
+        if (toggle_class) {
+          if (cur == 0 || cur < 100) {
+            put32(b, slot, raw);  // small/zero -> raw
+          } else {
+            put32(b, slot, static_cast<std::uint32_t>(hv % 100));  // raw -> small
+          }
+          break;
+        }
+        if (cur == 0) break;
+        if (cur < 100) {
+          put32(b, slot, static_cast<std::uint32_t>(hv % 100));
+        } else {
+          put32(b, slot, raw);
+        }
+        break;
+      }
+      case ValueClass::kRandom:
+        put32(b, slot, static_cast<std::uint32_t>(hv));
+        break;
+    }
+  }
+  return b;
+}
+
+}  // namespace pcmsim

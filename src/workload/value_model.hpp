@@ -1,0 +1,60 @@
+// Synthetic 64-byte value generation calibrated to SPEC CPU2006 behaviour.
+//
+// The paper's mechanisms observe exactly three properties of write-back data:
+//   1. its compressed size under best-of-BDI/FPC (Table III / Fig 3),
+//   2. how that size fluctuates across rewrites of a block (Fig 6/7), and
+//   3. how many bits change between consecutive values (DW flips, Fig 1/5).
+// Each value class below targets a compressibility family observed in SPEC
+// memory dumps: BDI-friendly narrow values (fixed-position deltas — rewrites
+// barely move the compressed image), FPC-friendly pattern mixes (variable-
+// length packing — rewrites shift downstream bits), and incompressible data.
+//
+// Generation is a pure function of (line, shape_seed, version), so the trace
+// is reproducible and per-line state is two integers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+enum class ValueClass : std::uint8_t {
+  kZeroPage,    ///< almost-zero lines (BSS, freshly-zeroed heap)
+  kSmallInt,    ///< 4-byte counters/flags; FPC sign-extended patterns
+  kNarrowInt64, ///< 8-byte values near a shared base; BDI b8dX
+  kNarrowInt32, ///< 4-byte values near a shared base; BDI b4dX
+  kPointerHeap, ///< 8-byte pointers sharing high bits; BDI b8dX
+  kFloatArray,  ///< doubles: shared exponent/sign, `delta` random low bytes
+  kFpcMixed,    ///< zero/small/raw 4-byte word mixture; FPC variable packing
+  kRandom,      ///< incompressible
+};
+
+[[nodiscard]] std::string_view to_string(ValueClass c);
+
+/// Parameters of one value class instance within an application.
+struct ValueClassSpec {
+  ValueClass cls = ValueClass::kRandom;
+  double weight = 1.0;      ///< fraction of the app's lines using this class
+  // Class-specific "shape" knobs (see value_model.cpp for the per-class meaning).
+  std::uint8_t param_lo = 1;  ///< inclusive lower bound of the shape parameter
+  std::uint8_t param_hi = 1;  ///< inclusive upper bound (redraws resample in range)
+  std::uint8_t aux = 0;       ///< secondary knob (e.g. small words in kFpcMixed)
+  // Rewrite dynamics.
+  std::uint8_t mutate_min = 1;  ///< min 4-byte words mutated per rewrite
+  std::uint8_t mutate_max = 4;  ///< max 4-byte words mutated per rewrite
+  /// kFpcMixed only: probability (in 1/256ths) that a mutation changes the
+  /// word's FPC pattern class, shifting the packed stream (size churn).
+  std::uint8_t toggle_prob_256 = 16;
+};
+
+/// Deterministically generates the value of a line at a given version.
+///
+/// `shape` is redrawn by the trace generator to model phase changes; the
+/// shape parameter (drawn in [param_lo, param_hi]) controls compressed size,
+/// so redraws are what make consecutive writes change size (Fig 6).
+[[nodiscard]] Block generate_value(const ValueClassSpec& spec, std::uint64_t line,
+                                   std::uint32_t shape, std::uint32_t version);
+
+}  // namespace pcmsim

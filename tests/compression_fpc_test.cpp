@@ -1,0 +1,132 @@
+#include "compression/fpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace pcmsim {
+namespace {
+
+Block block_of_u32(std::initializer_list<std::uint32_t> words) {
+  Block b{};
+  std::size_t i = 0;
+  for (auto w : words) {
+    std::memcpy(b.data() + i * 4, &w, 4);
+    if (++i == 16) break;
+  }
+  return b;
+}
+
+TEST(Fpc, ClassifiesPatterns) {
+  using P = FpcPattern;
+  EXPECT_EQ(FpcCompressor::classify(0), P::kZeroRun);
+  EXPECT_EQ(FpcCompressor::classify(7), P::kSign4);
+  EXPECT_EQ(FpcCompressor::classify(static_cast<std::uint32_t>(-3)), P::kSign4);
+  EXPECT_EQ(FpcCompressor::classify(100), P::kSign8);
+  EXPECT_EQ(FpcCompressor::classify(static_cast<std::uint32_t>(-100)), P::kSign8);
+  EXPECT_EQ(FpcCompressor::classify(30000), P::kSign16);
+  EXPECT_EQ(FpcCompressor::classify(static_cast<std::uint32_t>(-30000)), P::kSign16);
+  EXPECT_EQ(FpcCompressor::classify(0x7FFF0000u), P::kHighHalfZeroPad);
+  EXPECT_EQ(FpcCompressor::classify(0x00450012u), P::kTwoSignedBytes);
+  EXPECT_EQ(FpcCompressor::classify(0xABABABABu), P::kRepeatedByte);
+  EXPECT_EQ(FpcCompressor::classify(0x12345678u), P::kUncompressed);
+}
+
+TEST(Fpc, ZeroBlockFoldsToTinyImage) {
+  FpcCompressor c;
+  const auto r = c.compress(zero_block());
+  ASSERT_TRUE(r.has_value());
+  // 16 zero words -> two zero-run tokens (max run 8) = 12 bits = 2 bytes.
+  EXPECT_EQ(r->size_bytes(), 2u);
+  EXPECT_EQ(c.decompress(*r), zero_block());
+}
+
+TEST(Fpc, SmallIntsCompressWell) {
+  FpcCompressor c;
+  Block b{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto v = static_cast<std::uint32_t>(i % 8);  // all fit sign4
+    std::memcpy(b.data() + i * 4, &v, 4);
+  }
+  const auto r = c.compress(b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LE(r->size_bytes(), 16u);
+  EXPECT_EQ(c.decompress(*r), b);
+}
+
+TEST(Fpc, MixedPatternsRoundTrip) {
+  FpcCompressor c;
+  const Block b = block_of_u32({0, 0, 0x7FFF0000u, 0xABABABABu, 0x00450012u, 25000u,
+                                static_cast<std::uint32_t>(-90), 0x12345678u, 0, 3u,
+                                0xFFFF0000u, 0x01010101u, 0x00120034u, 0,
+                                static_cast<std::uint32_t>(-2), 0x89ABCDEFu});
+  const auto r = c.compress(b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(c.decompress(*r), b);
+}
+
+TEST(Fpc, PureRandomDoesNotCompress) {
+  FpcCompressor c;
+  Rng rng(99);
+  Block b{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    // Force all-uncompressed words: 16 * (3+32) = 560 bits > 512.
+    std::uint32_t w = static_cast<std::uint32_t>(rng()) | 0x01000000u;
+    if (FpcCompressor::classify(w) != FpcPattern::kUncompressed) w = 0x12345678u + static_cast<std::uint32_t>(i);
+    std::memcpy(b.data() + i * 4, &w, 4);
+  }
+  EXPECT_FALSE(c.compress(b).has_value());
+}
+
+TEST(Fpc, PayloadBitsMatchSpecification) {
+  using P = FpcPattern;
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kZeroRun), 3u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kSign4), 4u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kSign8), 8u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kSign16), 16u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kHighHalfZeroPad), 16u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kTwoSignedBytes), 16u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kRepeatedByte), 8u);
+  EXPECT_EQ(FpcCompressor::payload_bits(P::kUncompressed), 32u);
+}
+
+// Property: every compressible block round-trips bit-exactly.
+class FpcRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpcRoundTrip, PatternMixesRoundTrip) {
+  FpcCompressor c;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  int compressed = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    Block b{};
+    for (std::size_t i = 0; i < 16; ++i) {
+      std::uint32_t w = 0;
+      switch (rng.next_below(6)) {
+        case 0: w = 0; break;
+        case 1: w = static_cast<std::uint32_t>(rng.next_below(16)) - 8u; break;
+        case 2: w = static_cast<std::uint32_t>(rng.next_below(65536)) - 32768u; break;
+        case 3: w = static_cast<std::uint32_t>(rng()) << 16; break;
+        case 4: {
+          const auto byte = static_cast<std::uint32_t>(rng.next_below(256));
+          w = byte * 0x01010101u;
+          break;
+        }
+        default: w = static_cast<std::uint32_t>(rng()); break;
+      }
+      std::memcpy(b.data() + i * 4, &w, 4);
+    }
+    const auto r = c.compress(b);
+    if (r) {
+      ++compressed;
+      EXPECT_EQ(c.decompress(*r), b);
+    }
+  }
+  EXPECT_GT(compressed, 300);  // most mixes compress
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpcRoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace pcmsim

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+
+namespace pcmsim {
+namespace {
+
+TEST(ExperimentScale, FlagsResolveToDistinctScales) {
+  const auto dflt = ExperimentScale::from_flag("default");
+  const auto fast = ExperimentScale::from_flag("fast");
+  const auto paper = ExperimentScale::from_flag("paper");
+  EXPECT_LT(fast.endurance_mean, dflt.endurance_mean);
+  EXPECT_LT(dflt.endurance_mean, paper.endurance_mean);
+  EXPECT_LT(fast.physical_lines, paper.physical_lines);
+  EXPECT_DOUBLE_EQ(dflt.endurance_cov, 0.15);
+}
+
+TEST(Experiments, AppNamesMatchProfiles) {
+  const auto names = all_app_names();
+  EXPECT_EQ(names.size(), 15u);
+  EXPECT_EQ(names.front(), "GemsFDTD");
+  EXPECT_EQ(names.back(), "cactusADM");
+  for (const auto& n : names) EXPECT_NO_THROW((void)profile_by_name(n));
+}
+
+TEST(Experiments, MatrixRunsAndIndexes) {
+  ExperimentScale tiny;
+  tiny.endurance_mean = 60;
+  tiny.physical_lines = 96;
+  const auto cells = run_lifetime_matrix({"milc", "lbm"},
+                                         {SystemMode::kBaseline, SystemMode::kCompWF}, tiny);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& c : cells) {
+    EXPECT_TRUE(c.result.reached_failure) << c.app;
+    EXPECT_GT(c.result.writes_to_failure, 0u);
+  }
+  const auto& wf = matrix_cell(cells, "milc", SystemMode::kCompWF);
+  EXPECT_EQ(wf.app, "milc");
+  EXPECT_EQ(wf.mode, SystemMode::kCompWF);
+  EXPECT_THROW((void)matrix_cell(cells, "gcc", SystemMode::kComp), ContractViolation);
+}
+
+TEST(Experiments, MatrixIsDeterministicForFixedSeed) {
+  ExperimentScale tiny;
+  tiny.endurance_mean = 60;
+  tiny.physical_lines = 96;
+  tiny.seed = 5;
+  const auto a = run_lifetime_matrix({"milc"}, {SystemMode::kBaseline}, tiny);
+  const auto b = run_lifetime_matrix({"milc"}, {SystemMode::kBaseline}, tiny);
+  EXPECT_EQ(a[0].result.writes_to_failure, b[0].result.writes_to_failure);
+}
+
+}  // namespace
+}  // namespace pcmsim

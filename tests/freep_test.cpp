@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/freep.hpp"
+
+namespace pcmsim {
+namespace {
+
+PcmDeviceConfig small(double endurance = 1e4) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 32;
+  cfg.endurance_mean = endurance;
+  cfg.endurance_cov = 0.0;
+  cfg.seed = 4;
+  return cfg;
+}
+
+TEST(FreePCodec, EncodeDecodeRoundTripsCleanly) {
+  for (std::uint16_t t : {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{31},
+                          std::uint16_t{0xABCD}, std::uint16_t{0xFFFF}}) {
+    const auto image = FreePPointerCodec::encode(t);
+    EXPECT_EQ(FreePPointerCodec::decode(image), t);
+  }
+}
+
+TEST(FreePCodec, MajorityVoteSurvivesManyStuckCells) {
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto target = static_cast<std::uint16_t>(rng());
+    auto image = FreePPointerCodec::encode(target);
+    // Corrupt up to 100 random bits (stuck-at random values). Each pointer
+    // bit has 32 replicas; 100 corruptions can flip at most ~6 replicas of
+    // any single bit on average — far from the 16 needed to flip a majority.
+    for (int k = 0; k < 100; ++k) {
+      set_bit(image, rng.next_below(kBlockBits), rng.next_bool(0.5));
+    }
+    EXPECT_EQ(FreePPointerCodec::decode(image), target) << "iter " << iter;
+  }
+}
+
+TEST(FreePRemapper, ResolveFollowsChains) {
+  PcmArray array(small());
+  FreePRemapper remap(array, 8);
+  EXPECT_EQ(remap.data_lines(), 24u);
+  EXPECT_EQ(remap.resolve(3), 3u);
+
+  const auto first = remap.remap(3);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GE(*first, 24u);
+  EXPECT_EQ(remap.resolve(3), *first);
+
+  // The spare itself can die and re-remap (chained pointers).
+  const auto second = remap.remap(3);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+  EXPECT_EQ(remap.resolve(3), *second);
+  EXPECT_EQ(remap.spares_left(), 6u);
+}
+
+TEST(FreePRemapper, ExhaustsSpares) {
+  PcmArray array(small());
+  FreePRemapper remap(array, 2);
+  EXPECT_TRUE(remap.remap(0).has_value());
+  EXPECT_TRUE(remap.remap(1).has_value());
+  EXPECT_FALSE(remap.remap(2).has_value());
+  EXPECT_EQ(remap.spares_left(), 0u);
+}
+
+TEST(FreePRemapper, EmbeddedPointerSurvivesWornLine) {
+  PcmArray array(small());
+  FreePRemapper remap(array, 4);
+  // Wear line 7 badly before remapping: 120 stuck cells at random positions.
+  Rng rng(9);
+  for (int k = 0; k < 120; ++k) {
+    array.inject_fault(7, rng.next_below(kBlockBits), rng.next_bool(0.5));
+  }
+  const auto target = remap.remap(7);
+  ASSERT_TRUE(target.has_value());
+  // A cold reboot re-reads pointers from the (faulty) array: must match.
+  EXPECT_TRUE(remap.verify_chain(7));
+}
+
+TEST(FreePRemapper, ChainsRecoverableAcrossTheWholeRegion) {
+  PcmArray array(small());
+  FreePRemapper remap(array, 16);
+  Rng rng(11);
+  for (std::size_t line = 0; line < 8; ++line) {
+    for (int k = 0; k < 60; ++k) {
+      array.inject_fault(line, rng.next_below(kBlockBits), rng.next_bool(0.5));
+    }
+    ASSERT_TRUE(remap.remap(line).has_value());
+    EXPECT_TRUE(remap.verify_chain(line)) << "line " << line;
+  }
+  EXPECT_EQ(remap.spares_left(), 8u);
+}
+
+}  // namespace
+}  // namespace pcmsim

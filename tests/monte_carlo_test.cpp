@@ -1,0 +1,112 @@
+// Property tests on the Fig-9 Monte-Carlo engine: failure probability must be
+// monotone in fault count, anti-monotone in data size, and ordered across
+// schemes the way the paper reports.
+#include <gtest/gtest.h>
+
+#include "ecc/aegis.hpp"
+#include "ecc/ecp.hpp"
+#include "ecc/safer.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace pcmsim {
+namespace {
+
+MonteCarloConfig quick() {
+  MonteCarloConfig mc;
+  mc.trials = 2000;
+  return mc;
+}
+
+TEST(MonteCarlo, NoFaultsNeverFails) {
+  EcpScheme ecp(6);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(mc_failure_probability(ecp, 64, 0, quick(), rng), 0.0);
+  EXPECT_DOUBLE_EQ(mc_failure_probability(ecp, 1, 6, quick(), rng), 0.0);
+}
+
+TEST(MonteCarlo, FullLineFailsExactlyAboveCapability) {
+  EcpScheme ecp(6);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(mc_failure_probability(ecp, 64, 6, quick(), rng), 0.0);
+  EXPECT_DOUBLE_EQ(mc_failure_probability(ecp, 64, 7, quick(), rng), 1.0);
+}
+
+TEST(MonteCarlo, FailureMonotoneInFaultCount) {
+  EcpScheme ecp(6);
+  Rng rng(3);
+  double prev = 0.0;
+  for (std::size_t n = 8; n <= 64; n += 8) {
+    const double p = mc_failure_probability(ecp, 32, n, quick(), rng);
+    EXPECT_GE(p, prev - 0.05);  // allow MC noise
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(MonteCarlo, SmallerDataToleratesMoreFaults) {
+  EcpScheme ecp(6);
+  Rng rng(4);
+  const double p8 = mc_failure_probability(ecp, 8, 30, quick(), rng);
+  const double p32 = mc_failure_probability(ecp, 32, 30, quick(), rng);
+  const double p64 = mc_failure_probability(ecp, 64, 30, quick(), rng);
+  EXPECT_LT(p8, p32);
+  EXPECT_LT(p32, p64);
+  EXPECT_DOUBLE_EQ(p64, 1.0);
+}
+
+TEST(MonteCarlo, SchemeOrderingMatchesFigureNine) {
+  // At 32B data and 24 faults, the paper's ordering is Aegis <= SAFER <= ECP
+  // in failure probability.
+  EcpScheme ecp(6);
+  SaferScheme safer(32);
+  AegisScheme aegis(17, 31);
+  Rng r1(5);
+  Rng r2(5);
+  Rng r3(5);
+  const double pe = mc_failure_probability(ecp, 32, 24, quick(), r1);
+  const double ps = mc_failure_probability(safer, 32, 24, quick(), r2);
+  const double pa = mc_failure_probability(aegis, 32, 24, quick(), r3);
+  EXPECT_LE(pa, ps + 0.05);
+  EXPECT_LT(ps, pe);
+}
+
+TEST(MonteCarlo, PaperAnchorEcp32B) {
+  // Paper (Fig 9a): with 32-byte data, ECP-6 crosses Pfail = 0.5 around 18
+  // faults. Verify the crossover lands in a sane band.
+  EcpScheme ecp(6);
+  MonteCarloConfig mc;
+  mc.trials = 4000;
+  Rng rng(6);
+  const double p14 = mc_failure_probability(ecp, 32, 14, mc, rng);
+  const double p26 = mc_failure_probability(ecp, 32, 26, mc, rng);
+  EXPECT_LT(p14, 0.5);
+  EXPECT_GT(p26, 0.5);
+}
+
+TEST(MonteCarlo, TrialHelperFindsFittingWindow) {
+  EcpScheme ecp(6);
+  // 30 faults packed into the first 10 bytes: a 16-byte window fits above.
+  std::vector<std::uint16_t> pos;
+  for (std::uint16_t i = 0; i < 30; ++i) pos.push_back(static_cast<std::uint16_t>(i * 2));
+  EXPECT_TRUE(mc_trial_survives(ecp, 16, pos, true));
+  EXPECT_TRUE(mc_trial_survives(ecp, 16, pos, false));
+  // ...but a 63-byte window cannot dodge the cluster.
+  EXPECT_FALSE(mc_trial_survives(ecp, 63, pos, true));
+}
+
+TEST(MonteCarlo, WrapWindowsHelpEdgeStraddlingData) {
+  EcpScheme ecp(6);
+  // Faults in the middle of the line; a 24-byte window fits only if it can
+  // wrap around the line end.
+  std::vector<std::uint16_t> pos;
+  for (std::uint16_t i = 0; i < 30; ++i) {
+    pos.push_back(static_cast<std::uint16_t>(170 + i * 6));  // bytes ~21..43
+  }
+  const bool wrap = mc_trial_survives(ecp, 24, pos, true);
+  const bool nowrap = mc_trial_survives(ecp, 24, pos, false);
+  EXPECT_TRUE(wrap || nowrap);
+  EXPECT_TRUE(!nowrap || wrap) << "wrap must dominate non-wrap";
+}
+
+}  // namespace
+}  // namespace pcmsim

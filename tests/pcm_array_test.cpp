@@ -1,0 +1,183 @@
+#include "pcm/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcmsim {
+namespace {
+
+PcmDeviceConfig tiny_config(double endurance = 100.0, double cov = 0.0) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 4;
+  cfg.endurance_mean = endurance;
+  cfg.endurance_cov = cov;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<std::uint8_t> bits_of(std::initializer_list<std::uint8_t> bytes) {
+  return std::vector<std::uint8_t>(bytes);
+}
+
+TEST(PcmArray, FreshArrayReadsZero) {
+  PcmArray a(tiny_config());
+  std::vector<std::uint8_t> buf(8);
+  a.read_range(0, 0, 64, buf);
+  for (auto b : buf) EXPECT_EQ(b, 0u);
+  EXPECT_EQ(a.count_stuck(0, 0, kLineTotalBits), 0u);
+}
+
+TEST(PcmArray, WriteThenReadBack) {
+  PcmArray a(tiny_config());
+  const auto data = bits_of({0xAB, 0xCD, 0xEF, 0x01});
+  a.write_range(1, 0, data, 32);
+  std::vector<std::uint8_t> buf(4);
+  a.read_range(1, 0, 32, buf);
+  EXPECT_EQ(buf, data);
+}
+
+TEST(PcmArray, UnalignedRangesWork) {
+  PcmArray a(tiny_config());
+  const auto data = bits_of({0xFF, 0xFF, 0xFF});
+  a.write_range(0, 13, data, 21);  // odd bit offset, odd length
+  std::vector<std::uint8_t> buf(3);
+  a.read_range(0, 13, 21, buf);
+  EXPECT_EQ(buf[0], 0xFF);
+  EXPECT_EQ(buf[1], 0xFF);
+  EXPECT_EQ(buf[2], 0x1F);  // 21 bits -> top 3 bits of last byte are zero
+
+  // Bits outside the range are untouched: exactly bits 13..33 are set.
+  std::vector<std::uint8_t> whole(72);
+  a.read_range(0, 0, kLineTotalBits, whole);
+  EXPECT_EQ(whole[0], 0x00);
+  EXPECT_EQ(whole[1], 0xE0);  // bits 13..15
+  EXPECT_EQ(whole[2], 0xFF);  // bits 16..23
+  EXPECT_EQ(whole[3], 0xFF);  // bits 24..31
+  EXPECT_EQ(whole[4], 0x03);  // bits 32..33
+}
+
+TEST(PcmArray, DifferentialWriteProgramsOnlyChangedBits) {
+  PcmArray a(tiny_config());
+  const auto ones = bits_of({0xFF});
+  auto r1 = a.write_range(0, 0, ones, 8);
+  EXPECT_EQ(r1.programmed_bits, 8u);
+  auto r2 = a.write_range(0, 0, ones, 8);  // identical rewrite
+  EXPECT_EQ(r2.programmed_bits, 0u);
+  const auto alt = bits_of({0xF0});
+  auto r3 = a.write_range(0, 0, alt, 8);
+  EXPECT_EQ(r3.programmed_bits, 4u);
+}
+
+TEST(PcmArray, CellsWearOutAndStick) {
+  PcmArray a(tiny_config(/*endurance=*/3.0, /*cov=*/0.0));
+  const auto one = bits_of({0x01});
+  const auto zero = bits_of({0x00});
+  // Each toggle programs bit 0 once; after 3 pulses it must be stuck.
+  std::size_t faults = 0;
+  for (int i = 0; i < 5; ++i) {
+    faults += a.write_range(0, 0, (i % 2 == 0) ? one : zero, 1).new_faults;
+  }
+  EXPECT_EQ(faults, 1u);
+  EXPECT_TRUE(a.is_stuck(0, 0));
+  EXPECT_EQ(a.remaining_endurance(0, 0), 0u);
+
+  // Further writes never program the stuck cell.
+  const bool stuck_value = a.read_bit(0, 0);
+  const auto flip = bits_of({static_cast<std::uint8_t>(stuck_value ? 0x00 : 0x01)});
+  const auto r = a.write_range(0, 0, flip, 1);
+  EXPECT_EQ(r.programmed_bits, 0u);
+  EXPECT_EQ(r.mismatched_bits, 1u);
+  EXPECT_EQ(a.read_bit(0, 0), stuck_value);
+}
+
+TEST(PcmArray, InjectFaultSticksCell) {
+  PcmArray a(tiny_config());
+  a.inject_fault(2, 100, true);
+  EXPECT_TRUE(a.is_stuck(2, 100));
+  EXPECT_TRUE(a.read_bit(2, 100));
+  EXPECT_EQ(a.count_stuck(2, 0, kLineTotalBits), 1u);
+  EXPECT_EQ(a.stuck_positions(2, 0, kLineTotalBits),
+            std::vector<std::uint16_t>{100});
+  // Idempotent.
+  a.inject_fault(2, 100, true);
+  EXPECT_EQ(a.total_faults(), 1u);
+}
+
+TEST(PcmArray, StuckPositionsRespectRange) {
+  PcmArray a(tiny_config());
+  a.inject_fault(0, 10, false);
+  a.inject_fault(0, 200, true);
+  a.inject_fault(0, 510, false);
+  EXPECT_EQ(a.stuck_positions(0, 0, 512).size(), 3u);
+  EXPECT_EQ(a.stuck_positions(0, 100, 200), std::vector<std::uint16_t>{200});
+  EXPECT_EQ(a.count_stuck(0, 0, 11), 1u);
+  EXPECT_EQ(a.count_stuck(0, 11, 100), 0u);
+}
+
+TEST(PcmArray, EnduranceVariationProducesSpread) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 64;
+  cfg.endurance_mean = 1000;
+  cfg.endurance_cov = 0.15;
+  cfg.seed = 7;
+  PcmArray a(cfg);
+  double sum = 0;
+  double min = 1e18;
+  double max = 0;
+  const std::size_t n = 64 * kLineTotalBits;
+  for (std::size_t line = 0; line < 64; ++line) {
+    for (std::size_t bit = 0; bit < kLineTotalBits; ++bit) {
+      const double e = a.remaining_endurance(line, bit);
+      sum += e;
+      min = std::min(min, e);
+      max = std::max(max, e);
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  EXPECT_NEAR(mean, 1000.0, 20.0);
+  EXPECT_LT(min, 800.0);  // lognormal CoV 0.15 spreads the tails
+  EXPECT_GT(max, 1200.0);
+}
+
+TEST(PcmArray, RejectsOverflowingEnduranceConfig) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 1;
+  cfg.endurance_mean = 60000;  // +8 sigma exceeds uint16 at CoV 0.15
+  cfg.endurance_cov = 0.15;
+  EXPECT_THROW(PcmArray a(cfg), ContractViolation);
+}
+
+TEST(PcmArray, SetResetPulsesAreAccountedSeparately) {
+  PcmArray a(tiny_config());
+  const auto ones = bits_of({0xFF});
+  const auto zero = bits_of({0x00});
+  a.write_range(0, 0, ones, 8);  // 8 SET pulses (0 -> 1)
+  EXPECT_EQ(a.total_set_pulses(), 8u);
+  EXPECT_EQ(a.total_reset_pulses(), 0u);
+  a.write_range(0, 0, zero, 8);  // 8 RESET pulses (1 -> 0)
+  EXPECT_EQ(a.total_set_pulses(), 8u);
+  EXPECT_EQ(a.total_reset_pulses(), 8u);
+  EXPECT_EQ(a.total_programmed_bits(), a.total_set_pulses() + a.total_reset_pulses());
+  EXPECT_DOUBLE_EQ(a.write_energy_pj(1.0, 2.0), 8.0 * 1.0 + 8.0 * 2.0);
+}
+
+TEST(PcmArray, StuckValueFollowsFailureModeFraction) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 8;
+  cfg.endurance_mean = 2;
+  cfg.endurance_cov = 0.0;
+  cfg.stuck_at_reset_fraction = 1.0;  // every failure is stuck-at-RESET (0)
+  cfg.seed = 3;
+  PcmArray a(cfg);
+  const auto one = bits_of({0xFF});
+  const auto zero = bits_of({0x00});
+  for (int i = 0; i < 8; ++i) a.write_range(0, 0, (i % 2 == 0) ? one : zero, 8);
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    ASSERT_TRUE(a.is_stuck(0, bit));
+    EXPECT_FALSE(a.read_bit(0, bit)) << "stuck-at-RESET must latch 0";
+  }
+}
+
+}  // namespace
+}  // namespace pcmsim

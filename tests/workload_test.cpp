@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "compression/best_of.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/trace.hpp"
+
+namespace pcmsim {
+namespace {
+
+TEST(AppProfiles, AllFifteenWorkloadsPresent) {
+  const auto& apps = spec2006_profiles();
+  EXPECT_EQ(apps.size(), 15u);
+  for (const char* name : {"GemsFDTD", "lbm", "bzip2", "leslie3d", "hmmer", "mcf", "gobmk",
+                           "bwaves", "astar", "calculix", "sjeng", "gcc", "zeusmp", "milc",
+                           "cactusADM"}) {
+    EXPECT_NO_THROW((void)profile_by_name(name));
+  }
+  EXPECT_THROW((void)profile_by_name("perlbench"), std::out_of_range);
+}
+
+TEST(AppProfiles, BucketsMatchTableThree) {
+  // CR < 0.3 -> H; CR >= 0.7 -> L; else M (Section IV; Table III labels the
+  // 0.70-CR apps GemsFDTD and leslie3d as L).
+  for (const auto& app : spec2006_profiles()) {
+    if (app.table_cr < 0.3) {
+      EXPECT_EQ(app.bucket, Compressibility::kHigh) << app.name;
+    } else if (app.table_cr >= 0.7) {
+      EXPECT_EQ(app.bucket, Compressibility::kLow) << app.name;
+    } else {
+      EXPECT_EQ(app.bucket, Compressibility::kMedium) << app.name;
+    }
+  }
+}
+
+TEST(ValueModel, GenerationIsDeterministic) {
+  const auto& app = profile_by_name("gcc");
+  for (const auto& spec : app.classes) {
+    const Block a = generate_value(spec, 123, 456, 7);
+    const Block b = generate_value(spec, 123, 456, 7);
+    EXPECT_EQ(a, b);
+    const Block c = generate_value(spec, 123, 456, 8);
+    EXPECT_NE(a, c) << "a rewrite must change the content";
+  }
+}
+
+TEST(ValueModel, RewritesTouchBoundedWordCount) {
+  ValueClassSpec spec;
+  spec.cls = ValueClass::kRandom;
+  spec.mutate_min = 2;
+  spec.mutate_max = 5;
+  for (std::uint32_t v = 1; v < 40; ++v) {
+    const Block base = generate_value(spec, 9, 1, 0);
+    const Block now = generate_value(spec, 9, 1, v);
+    std::size_t words_changed = 0;
+    for (std::size_t w = 0; w < 16; ++w) {
+      if (std::memcmp(base.data() + w * 4, now.data() + w * 4, 4) != 0) ++words_changed;
+    }
+    EXPECT_GE(words_changed, 1u);
+    EXPECT_LE(words_changed, 5u);
+  }
+}
+
+TEST(TraceGenerator, DeterministicAcrossInstances) {
+  const auto& app = profile_by_name("milc");
+  TraceGenerator g1(app, 4096, 11);
+  TraceGenerator g2(app, 4096, 11);
+  for (int i = 0; i < 200; ++i) {
+    const auto e1 = g1.next();
+    const auto e2 = g2.next();
+    EXPECT_EQ(e1.line, e2.line);
+    EXPECT_EQ(e1.data, e2.data);
+  }
+}
+
+TEST(TraceGenerator, AddressesStayInRegion) {
+  const auto& app = profile_by_name("lbm");
+  TraceGenerator gen(app, 1000, 3);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(gen.next().line, 1000u);
+  }
+}
+
+TEST(TraceGenerator, CurrentValueTracksLastEvent) {
+  const auto& app = profile_by_name("hmmer");
+  TraceGenerator gen(app, 512, 5);
+  std::map<LineAddr, Block> last;
+  for (int i = 0; i < 2000; ++i) {
+    const auto ev = gen.next();
+    last[ev.line] = ev.data;
+  }
+  for (const auto& [line, data] : last) {
+    EXPECT_EQ(gen.current_value(line), data);
+  }
+}
+
+TEST(TraceGenerator, ZipfSkewConcentratesWrites) {
+  const auto& app = profile_by_name("gobmk");  // theta 0.85
+  TraceGenerator gen(app, 1 << 14, 9);
+  std::map<LineAddr, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next().line];
+  // Top 1% of touched lines should absorb well over 1% of writes.
+  std::vector<int> sorted;
+  for (const auto& [_, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  const std::size_t top = std::max<std::size_t>(1, sorted.size() / 100);
+  int top_writes = 0;
+  for (std::size_t i = 0; i < top; ++i) top_writes += sorted[i];
+  EXPECT_GT(static_cast<double>(top_writes) / n, 0.05);
+}
+
+TEST(TraceFile, RoundTripsThroughDisk) {
+  const auto& app = profile_by_name("astar");
+  TraceGenerator gen(app, 256, 21);
+  const std::string path = ::testing::TempDir() + "/pcmsim_trace_test.bin";
+  std::vector<WritebackEvent> events;
+  {
+    TraceWriter w(path);
+    for (int i = 0; i < 300; ++i) {
+      events.push_back(gen.next());
+      w.append(events.back());
+    }
+  }
+  TraceReader r(path);
+  EXPECT_EQ(r.count(), 300u);
+  for (const auto& expected : events) {
+    const auto got = r.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->line, expected.line);
+    EXPECT_EQ(got->data, expected.data);
+  }
+  EXPECT_FALSE(r.next().has_value());
+  std::remove(path.c_str());
+}
+
+// Calibration: measured best-of compressed sizes must land near Table III's
+// per-app compression ratios. Tolerance is generous here; the fig03 bench
+// reports exact values (see EXPERIMENTS.md).
+class Calibration : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Calibration, CompressedSizeNearTableThree) {
+  const auto& app = profile_by_name(GetParam());
+  TraceGenerator gen(app, 1 << 14, 1234);
+  BestOfCompressor best;
+  double total = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto ev = gen.next();
+    const auto c = best.compress(ev.data);
+    total += c ? static_cast<double>(c->size_bytes()) : 64.0;
+  }
+  const double measured_cr = total / n / 64.0;
+  EXPECT_NEAR(measured_cr, app.table_cr, 0.12)
+      << app.name << ": measured CR " << measured_cr << " vs Table III " << app.table_cr;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Calibration,
+                         ::testing::Values("GemsFDTD", "lbm", "bzip2", "leslie3d", "hmmer",
+                                           "mcf", "gobmk", "bwaves", "astar", "calculix",
+                                           "sjeng", "gcc", "zeusmp", "milc", "cactusADM"));
+
+TEST(Calibration, SizeVolatilityRankingMatchesFigureSix) {
+  // bzip2 and gcc must churn sizes far more than hmmer (Fig 6/7).
+  BestOfCompressor best;
+  auto change_prob = [&](const char* name) {
+    const auto& app = profile_by_name(name);
+    TraceGenerator gen(app, 1 << 12, 77);
+    std::map<LineAddr, std::size_t> last_size;
+    int changes = 0;
+    int pairs = 0;
+    for (int i = 0; i < 30000; ++i) {
+      const auto ev = gen.next();
+      const auto c = best.compress(ev.data);
+      const std::size_t size = c ? c->size_bytes() : 64;
+      const auto it = last_size.find(ev.line);
+      if (it != last_size.end()) {
+        ++pairs;
+        if (it->second != size) ++changes;
+      }
+      last_size[ev.line] = size;
+    }
+    return pairs ? static_cast<double>(changes) / pairs : 0.0;
+  };
+  const double bzip2 = change_prob("bzip2");
+  const double gcc = change_prob("gcc");
+  const double hmmer = change_prob("hmmer");
+  EXPECT_GT(bzip2, hmmer + 0.15);
+  EXPECT_GT(gcc, hmmer + 0.15);
+}
+
+}  // namespace
+}  // namespace pcmsim
