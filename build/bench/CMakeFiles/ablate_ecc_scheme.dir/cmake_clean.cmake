@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ecc_scheme.dir/ablate_ecc_scheme.cpp.o"
+  "CMakeFiles/ablate_ecc_scheme.dir/ablate_ecc_scheme.cpp.o.d"
+  "ablate_ecc_scheme"
+  "ablate_ecc_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ecc_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

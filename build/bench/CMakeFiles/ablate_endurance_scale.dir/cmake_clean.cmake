@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_endurance_scale.dir/ablate_endurance_scale.cpp.o"
+  "CMakeFiles/ablate_endurance_scale.dir/ablate_endurance_scale.cpp.o.d"
+  "ablate_endurance_scale"
+  "ablate_endurance_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_endurance_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_energy.dir/ablate_energy.cpp.o"
+  "CMakeFiles/ablate_energy.dir/ablate_energy.cpp.o.d"
+  "ablate_energy"
+  "ablate_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

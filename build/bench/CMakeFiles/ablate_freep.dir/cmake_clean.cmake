@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_freep.dir/ablate_freep.cpp.o"
+  "CMakeFiles/ablate_freep.dir/ablate_freep.cpp.o.d"
+  "ablate_freep"
+  "ablate_freep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_freep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_heuristic.dir/ablate_heuristic.cpp.o"
+  "CMakeFiles/ablate_heuristic.dir/ablate_heuristic.cpp.o.d"
+  "ablate_heuristic"
+  "ablate_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

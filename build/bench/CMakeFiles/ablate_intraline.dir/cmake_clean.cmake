@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_intraline.dir/ablate_intraline.cpp.o"
+  "CMakeFiles/ablate_intraline.dir/ablate_intraline.cpp.o.d"
+  "ablate_intraline"
+  "ablate_intraline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_intraline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

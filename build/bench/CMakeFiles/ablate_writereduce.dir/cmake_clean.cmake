@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_writereduce.dir/ablate_writereduce.cpp.o"
+  "CMakeFiles/ablate_writereduce.dir/ablate_writereduce.cpp.o.d"
+  "ablate_writereduce"
+  "ablate_writereduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_writereduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dw_bitflips.dir/fig01_dw_bitflips.cpp.o"
+  "CMakeFiles/fig01_dw_bitflips.dir/fig01_dw_bitflips.cpp.o.d"
+  "fig01_dw_bitflips"
+  "fig01_dw_bitflips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dw_bitflips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bitflip_delta.dir/fig05_bitflip_delta.cpp.o"
+  "CMakeFiles/fig05_bitflip_delta.dir/fig05_bitflip_delta.cpp.o.d"
+  "fig05_bitflip_delta"
+  "fig05_bitflip_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bitflip_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_size_change_prob.dir/fig06_size_change_prob.cpp.o"
+  "CMakeFiles/fig06_size_change_prob.dir/fig06_size_change_prob.cpp.o.d"
+  "fig06_size_change_prob"
+  "fig06_size_change_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_size_change_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

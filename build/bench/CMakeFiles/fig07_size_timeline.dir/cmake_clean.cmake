@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_size_timeline.dir/fig07_size_timeline.cpp.o"
+  "CMakeFiles/fig07_size_timeline.dir/fig07_size_timeline.cpp.o.d"
+  "fig07_size_timeline"
+  "fig07_size_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_size_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

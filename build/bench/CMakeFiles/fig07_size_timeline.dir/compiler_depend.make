@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_size_timeline.
+# This may be replaced when dependencies are built.

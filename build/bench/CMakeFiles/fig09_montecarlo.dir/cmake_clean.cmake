@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_montecarlo.dir/fig09_montecarlo.cpp.o"
+  "CMakeFiles/fig09_montecarlo.dir/fig09_montecarlo.cpp.o.d"
+  "fig09_montecarlo"
+  "fig09_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lifetime.dir/fig10_lifetime.cpp.o"
+  "CMakeFiles/fig10_lifetime.dir/fig10_lifetime.cpp.o.d"
+  "fig10_lifetime"
+  "fig10_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

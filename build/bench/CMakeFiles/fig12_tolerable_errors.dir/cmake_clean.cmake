@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tolerable_errors.dir/fig12_tolerable_errors.cpp.o"
+  "CMakeFiles/fig12_tolerable_errors.dir/fig12_tolerable_errors.cpp.o.d"
+  "fig12_tolerable_errors"
+  "fig12_tolerable_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tolerable_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_variation.dir/fig13_variation.cpp.o"
+  "CMakeFiles/fig13_variation.dir/fig13_variation.cpp.o.d"
+  "fig13_variation"
+  "fig13_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

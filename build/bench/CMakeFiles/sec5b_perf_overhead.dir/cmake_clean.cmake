@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5b_perf_overhead.dir/sec5b_perf_overhead.cpp.o"
+  "CMakeFiles/sec5b_perf_overhead.dir/sec5b_perf_overhead.cpp.o.d"
+  "sec5b_perf_overhead"
+  "sec5b_perf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5b_perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

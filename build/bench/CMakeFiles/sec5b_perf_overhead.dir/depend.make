@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5b_perf_overhead.
+# This may be replaced when dependencies are built.

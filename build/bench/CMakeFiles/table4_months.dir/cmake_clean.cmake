@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_months.dir/table4_months.cpp.o"
+  "CMakeFiles/table4_months.dir/table4_months.cpp.o.d"
+  "table4_months"
+  "table4_months.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_months.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_cache.dir/cache.cpp.o"
+  "CMakeFiles/pcmsim_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/pcmsim_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/pcmsim_cache.dir/hierarchy.cpp.o.d"
+  "libpcmsim_cache.a"
+  "libpcmsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_common.dir/cli.cpp.o"
+  "CMakeFiles/pcmsim_common.dir/cli.cpp.o.d"
+  "CMakeFiles/pcmsim_common.dir/rng.cpp.o"
+  "CMakeFiles/pcmsim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pcmsim_common.dir/stats.cpp.o"
+  "CMakeFiles/pcmsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pcmsim_common.dir/table.cpp.o"
+  "CMakeFiles/pcmsim_common.dir/table.cpp.o.d"
+  "CMakeFiles/pcmsim_common.dir/zipf.cpp.o"
+  "CMakeFiles/pcmsim_common.dir/zipf.cpp.o.d"
+  "libpcmsim_common.a"
+  "libpcmsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/bdi.cpp" "src/compression/CMakeFiles/pcmsim_compression.dir/bdi.cpp.o" "gcc" "src/compression/CMakeFiles/pcmsim_compression.dir/bdi.cpp.o.d"
+  "/root/repo/src/compression/best_of.cpp" "src/compression/CMakeFiles/pcmsim_compression.dir/best_of.cpp.o" "gcc" "src/compression/CMakeFiles/pcmsim_compression.dir/best_of.cpp.o.d"
+  "/root/repo/src/compression/fpc.cpp" "src/compression/CMakeFiles/pcmsim_compression.dir/fpc.cpp.o" "gcc" "src/compression/CMakeFiles/pcmsim_compression.dir/fpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

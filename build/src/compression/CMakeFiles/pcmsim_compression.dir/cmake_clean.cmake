@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_compression.dir/bdi.cpp.o"
+  "CMakeFiles/pcmsim_compression.dir/bdi.cpp.o.d"
+  "CMakeFiles/pcmsim_compression.dir/best_of.cpp.o"
+  "CMakeFiles/pcmsim_compression.dir/best_of.cpp.o.d"
+  "CMakeFiles/pcmsim_compression.dir/fpc.cpp.o"
+  "CMakeFiles/pcmsim_compression.dir/fpc.cpp.o.d"
+  "libpcmsim_compression.a"
+  "libpcmsim_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

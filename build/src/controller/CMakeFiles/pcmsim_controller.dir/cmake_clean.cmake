@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_controller.dir/controller.cpp.o"
+  "CMakeFiles/pcmsim_controller.dir/controller.cpp.o.d"
+  "libpcmsim_controller.a"
+  "libpcmsim_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/heuristic.cpp" "src/core/CMakeFiles/pcmsim_core.dir/heuristic.cpp.o" "gcc" "src/core/CMakeFiles/pcmsim_core.dir/heuristic.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/pcmsim_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/pcmsim_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/core/CMakeFiles/pcmsim_core.dir/window.cpp.o" "gcc" "src/core/CMakeFiles/pcmsim_core.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/pcmsim_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/pcmsim_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmsim_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wear/CMakeFiles/pcmsim_wear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_core.dir/heuristic.cpp.o"
+  "CMakeFiles/pcmsim_core.dir/heuristic.cpp.o.d"
+  "CMakeFiles/pcmsim_core.dir/system.cpp.o"
+  "CMakeFiles/pcmsim_core.dir/system.cpp.o.d"
+  "CMakeFiles/pcmsim_core.dir/window.cpp.o"
+  "CMakeFiles/pcmsim_core.dir/window.cpp.o.d"
+  "libpcmsim_core.a"
+  "libpcmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/aegis.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/aegis.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/aegis.cpp.o.d"
+  "/root/repo/src/ecc/ecp.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/ecp.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/ecp.cpp.o.d"
+  "/root/repo/src/ecc/freep.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/freep.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/freep.cpp.o.d"
+  "/root/repo/src/ecc/safer.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/safer.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/safer.cpp.o.d"
+  "/root/repo/src/ecc/scheme.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/scheme.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/scheme.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/ecc/CMakeFiles/pcmsim_ecc.dir/secded.cpp.o" "gcc" "src/ecc/CMakeFiles/pcmsim_ecc.dir/secded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

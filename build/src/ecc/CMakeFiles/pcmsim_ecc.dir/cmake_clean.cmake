@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_ecc.dir/aegis.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/aegis.cpp.o.d"
+  "CMakeFiles/pcmsim_ecc.dir/ecp.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/ecp.cpp.o.d"
+  "CMakeFiles/pcmsim_ecc.dir/freep.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/freep.cpp.o.d"
+  "CMakeFiles/pcmsim_ecc.dir/safer.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/safer.cpp.o.d"
+  "CMakeFiles/pcmsim_ecc.dir/scheme.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/scheme.cpp.o.d"
+  "CMakeFiles/pcmsim_ecc.dir/secded.cpp.o"
+  "CMakeFiles/pcmsim_ecc.dir/secded.cpp.o.d"
+  "libpcmsim_ecc.a"
+  "libpcmsim_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_pcm.dir/array.cpp.o"
+  "CMakeFiles/pcmsim_pcm.dir/array.cpp.o.d"
+  "CMakeFiles/pcmsim_pcm.dir/flip_n_write.cpp.o"
+  "CMakeFiles/pcmsim_pcm.dir/flip_n_write.cpp.o.d"
+  "libpcmsim_pcm.a"
+  "libpcmsim_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_sim.dir/experiments.cpp.o"
+  "CMakeFiles/pcmsim_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/pcmsim_sim.dir/lifetime.cpp.o"
+  "CMakeFiles/pcmsim_sim.dir/lifetime.cpp.o.d"
+  "CMakeFiles/pcmsim_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/pcmsim_sim.dir/monte_carlo.cpp.o.d"
+  "libpcmsim_sim.a"
+  "libpcmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

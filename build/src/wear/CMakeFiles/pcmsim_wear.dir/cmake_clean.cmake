@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_wear.dir/start_gap.cpp.o"
+  "CMakeFiles/pcmsim_wear.dir/start_gap.cpp.o.d"
+  "libpcmsim_wear.a"
+  "libpcmsim_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

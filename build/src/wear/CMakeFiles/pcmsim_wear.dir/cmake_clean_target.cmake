@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcmsim_wear.a"
+)

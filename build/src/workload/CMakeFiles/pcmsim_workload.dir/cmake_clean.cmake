@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmsim_workload.dir/app_profile.cpp.o"
+  "CMakeFiles/pcmsim_workload.dir/app_profile.cpp.o.d"
+  "CMakeFiles/pcmsim_workload.dir/trace.cpp.o"
+  "CMakeFiles/pcmsim_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/pcmsim_workload.dir/value_model.cpp.o"
+  "CMakeFiles/pcmsim_workload.dir/value_model.cpp.o.d"
+  "libpcmsim_workload.a"
+  "libpcmsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

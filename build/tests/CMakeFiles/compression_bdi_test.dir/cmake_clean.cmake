@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_bdi_test.dir/compression_bdi_test.cpp.o"
+  "CMakeFiles/compression_bdi_test.dir/compression_bdi_test.cpp.o.d"
+  "compression_bdi_test"
+  "compression_bdi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_bdi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_best_test.dir/compression_best_test.cpp.o"
+  "CMakeFiles/compression_best_test.dir/compression_best_test.cpp.o.d"
+  "compression_best_test"
+  "compression_best_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_best_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

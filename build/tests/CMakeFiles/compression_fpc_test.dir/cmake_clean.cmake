@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_fpc_test.dir/compression_fpc_test.cpp.o"
+  "CMakeFiles/compression_fpc_test.dir/compression_fpc_test.cpp.o.d"
+  "compression_fpc_test"
+  "compression_fpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_fpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

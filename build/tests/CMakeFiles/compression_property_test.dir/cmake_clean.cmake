@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_property_test.dir/compression_property_test.cpp.o"
+  "CMakeFiles/compression_property_test.dir/compression_property_test.cpp.o.d"
+  "compression_property_test"
+  "compression_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_schemes_test.dir/ecc_schemes_test.cpp.o"
+  "CMakeFiles/ecc_schemes_test.dir/ecc_schemes_test.cpp.o.d"
+  "ecc_schemes_test"
+  "ecc_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

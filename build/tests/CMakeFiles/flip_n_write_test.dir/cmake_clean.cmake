@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flip_n_write_test.dir/flip_n_write_test.cpp.o"
+  "CMakeFiles/flip_n_write_test.dir/flip_n_write_test.cpp.o.d"
+  "flip_n_write_test"
+  "flip_n_write_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flip_n_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flip_n_write_test.
+# This may be replaced when dependencies are built.

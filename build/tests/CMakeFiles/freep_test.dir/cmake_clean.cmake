@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freep_test.dir/freep_test.cpp.o"
+  "CMakeFiles/freep_test.dir/freep_test.cpp.o.d"
+  "freep_test"
+  "freep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

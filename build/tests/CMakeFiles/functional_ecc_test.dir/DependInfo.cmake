@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/functional_ecc_test.cpp" "tests/CMakeFiles/functional_ecc_test.dir/functional_ecc_test.cpp.o" "gcc" "tests/CMakeFiles/functional_ecc_test.dir/functional_ecc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcmsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcmsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/pcmsim_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/pcmsim_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pcmsim_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wear/CMakeFiles/pcmsim_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcmsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pcmsim_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_ecc_test.dir/functional_ecc_test.cpp.o"
+  "CMakeFiles/functional_ecc_test.dir/functional_ecc_test.cpp.o.d"
+  "functional_ecc_test"
+  "functional_ecc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_array_test.dir/pcm_array_test.cpp.o"
+  "CMakeFiles/pcm_array_test.dir/pcm_array_test.cpp.o.d"
+  "pcm_array_test"
+  "pcm_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

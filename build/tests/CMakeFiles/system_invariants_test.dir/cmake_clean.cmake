@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_invariants_test.dir/system_invariants_test.cpp.o"
+  "CMakeFiles/system_invariants_test.dir/system_invariants_test.cpp.o.d"
+  "system_invariants_test"
+  "system_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
