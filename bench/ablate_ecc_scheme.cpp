@@ -3,8 +3,11 @@
 // should extend lifetimes beyond ECP-6 because compression collocates faults
 // into the window, making separation easy.
 #include <iostream>
+#include <mutex>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
 
@@ -12,30 +15,48 @@ using namespace pcmsim;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  set_threads_from_cli(args);
+  const ScopedTimer timer("ablate_ecc_scheme");
   const auto scale = ExperimentScale::from_flag(args.get_bool("fast") ? "fast" : "default");
 
-  TablePrinter table({"app", "ecc", "norm_lifetime", "faults_at_death"});
-  for (const std::string app_name : {"milc", "gcc", "lbm"}) {
-    const AppProfile& app = profile_by_name(app_name);
-    LifetimeConfig base;
-    base.system.mode = SystemMode::kBaseline;
-    base.system.device.lines = scale.physical_lines;
-    base.system.device.endurance_mean = scale.endurance_mean;
-    base.system.device.endurance_cov = scale.endurance_cov;
-    base.system.device.seed = 18;
-    base.max_writes = 4'000'000'000ull;
-    std::cerr << "[ecc] " << app_name << " baseline (ECP-6)...\n";
-    const double base_writes =
-        static_cast<double>(run_lifetime(app, base, 100).writes_to_failure);
+  const std::vector<std::string> app_names = {"milc", "gcc", "lbm"};
+  const std::vector<EccKind> eccs = {EccKind::kEcp6, EccKind::kSafer32, EccKind::kAegis17x31};
 
-    for (const auto ecc : {EccKind::kEcp6, EccKind::kSafer32, EccKind::kAegis17x31}) {
-      LifetimeConfig lc = base;
+  // Per app: one ECP-6 baseline + one Comp+WF run per scheme, all seeded
+  // identically to the serial sweep — flattened into independent tasks.
+  const std::size_t per_app = 1 + eccs.size();
+  std::vector<LifetimeResult> results(app_names.size() * per_app);
+  std::mutex log_m;
+  parallel_for(results.size(), [&](std::size_t i) {
+    const auto& app_name = app_names[i / per_app];
+    const std::size_t vi = i % per_app;  // 0 = baseline, else eccs[vi-1]
+    LifetimeConfig lc;
+    lc.system.mode = SystemMode::kBaseline;
+    lc.system.device.lines = scale.physical_lines;
+    lc.system.device.endurance_mean = scale.endurance_mean;
+    lc.system.device.endurance_cov = scale.endurance_cov;
+    lc.system.device.seed = 18;
+    lc.max_writes = 4'000'000'000ull;
+    std::string what = "baseline (ECP-6)";
+    if (vi > 0) {
       lc.system.mode = SystemMode::kCompWF;
-      lc.system.ecc = ecc;
-      std::cerr << "[ecc] " << app_name << " Comp+WF / "
-                << make_scheme(ecc)->name() << "...\n";
-      const auto r = run_lifetime(app, lc, 100);
-      table.add_row({app_name, std::string(make_scheme(ecc)->name()),
+      lc.system.ecc = eccs[vi - 1];
+      what = "Comp+WF / " + std::string(make_scheme(lc.system.ecc)->name());
+    }
+    {
+      const std::lock_guard lk(log_m);
+      std::cerr << "[ecc] " << app_name << " " << what << "...\n";
+    }
+    results[i] = run_lifetime(profile_by_name(app_name), lc, 100);
+  });
+
+  TablePrinter table({"app", "ecc", "norm_lifetime", "faults_at_death"});
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const double base_writes =
+        static_cast<double>(results[a * per_app].writes_to_failure);
+    for (std::size_t e = 0; e < eccs.size(); ++e) {
+      const auto& r = results[a * per_app + 1 + e];
+      table.add_row({app_names[a], std::string(make_scheme(eccs[e])->name()),
                      TablePrinter::fmt(static_cast<double>(r.writes_to_failure) / base_writes, 2),
                      TablePrinter::fmt(r.mean_faults_at_death, 1)});
     }

@@ -4,8 +4,11 @@
 // quantifies programming energy per write-back (SET/RESET pulse model) for
 // Baseline vs Comp+WF across the compressibility spectrum.
 #include <iostream>
+#include <mutex>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
 
@@ -13,29 +16,42 @@ using namespace pcmsim;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  set_threads_from_cli(args);
+  const ScopedTimer timer("ablate_energy");
   const auto scale = ExperimentScale::from_flag(args.get_bool("fast") ? "fast" : "default");
+
+  const std::vector<std::string> apps = {"cactusADM", "zeusmp", "milc", "gcc", "bzip2", "lbm"};
+  const std::vector<SystemMode> modes = {SystemMode::kBaseline, SystemMode::kCompWF};
+
+  // Every (app, mode) run has fixed seeds and shares nothing — flatten the
+  // grid into independent tasks.
+  std::vector<double> energy(apps.size() * modes.size());
+  std::mutex log_m;
+  parallel_for(energy.size(), [&](std::size_t i) {
+    const auto& name = apps[i / modes.size()];
+    const auto mode = modes[i % modes.size()];
+    LifetimeConfig lc;
+    lc.system.mode = mode;
+    lc.system.device.lines = scale.physical_lines;
+    lc.system.device.endurance_mean = scale.endurance_mean;
+    lc.system.device.endurance_cov = scale.endurance_cov;
+    lc.system.device.seed = 18;
+    lc.max_writes = 4'000'000'000ull;
+    {
+      const std::lock_guard lk(log_m);
+      std::cerr << "[energy] " << name << " / " << to_string(mode) << "...\n";
+    }
+    energy[i] = run_lifetime(profile_by_name(name), lc, 100).energy_pj_per_write;
+  });
 
   TablePrinter table({"app", "base_pJ/write", "wf_pJ/write", "saving%"});
   double sum = 0;
-  const std::vector<std::string> apps = {"cactusADM", "zeusmp", "milc", "gcc", "bzip2", "lbm"};
-  for (const auto& name : apps) {
-    const AppProfile& app = profile_by_name(name);
-    double energy[2] = {0, 0};
-    int i = 0;
-    for (auto mode : {SystemMode::kBaseline, SystemMode::kCompWF}) {
-      LifetimeConfig lc;
-      lc.system.mode = mode;
-      lc.system.device.lines = scale.physical_lines;
-      lc.system.device.endurance_mean = scale.endurance_mean;
-      lc.system.device.endurance_cov = scale.endurance_cov;
-      lc.system.device.seed = 18;
-      lc.max_writes = 4'000'000'000ull;
-      std::cerr << "[energy] " << name << " / " << to_string(mode) << "...\n";
-      energy[i++] = run_lifetime(app, lc, 100).energy_pj_per_write;
-    }
-    const double saving = 100.0 * (1.0 - energy[1] / energy[0]);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double base = energy[a * modes.size()];
+    const double wf = energy[a * modes.size() + 1];
+    const double saving = 100.0 * (1.0 - wf / base);
     sum += saving;
-    table.add_row({name, TablePrinter::fmt(energy[0], 0), TablePrinter::fmt(energy[1], 0),
+    table.add_row({apps[a], TablePrinter::fmt(base, 0), TablePrinter::fmt(wf, 0),
                    TablePrinter::fmt(saving, 1)});
   }
   table.add_row({"Average", "-", "-", TablePrinter::fmt(sum / static_cast<double>(apps.size()), 1)});

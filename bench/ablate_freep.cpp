@@ -5,9 +5,12 @@
 // and service continues. Sweeps the spare fraction.
 #include <iostream>
 #include <memory>
+#include <mutex>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/zipf.hpp"
 #include "common/table.hpp"
 #include "ecc/ecp.hpp"
@@ -58,16 +61,26 @@ std::uint64_t run_region(double spare_fraction, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  set_threads_from_cli(args);
+  const ScopedTimer timer("ablate_freep");
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
 
+  // Each spare-fraction sweep point is an independent region run.
+  const std::vector<double> fracs = {0.0, 0.05, 0.125, 0.25};
+  std::mutex log_m;
+  const auto writes = parallel_map(fracs, [&](const double frac) {
+    {
+      const std::lock_guard lk(log_m);
+      std::cerr << "[freep] spare fraction " << frac << "...\n";
+    }
+    return run_region(frac, seed);
+  });
+
   TablePrinter table({"spare_fraction", "writes_to_first_loss", "normalized"});
-  double base = 0;
-  for (const double frac : {0.0, 0.05, 0.125, 0.25}) {
-    std::cerr << "[freep] spare fraction " << frac << "...\n";
-    const auto writes = run_region(frac, seed);
-    if (frac == 0.0) base = static_cast<double>(writes);
-    table.add_row({TablePrinter::fmt(frac, 3), TablePrinter::fmt(writes),
-                   TablePrinter::fmt(static_cast<double>(writes) / base, 2)});
+  const double base = static_cast<double>(writes[0]);  // fracs[0] == 0.0
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    table.add_row({TablePrinter::fmt(fracs[i], 3), TablePrinter::fmt(writes[i]),
+                   TablePrinter::fmt(static_cast<double>(writes[i]) / base, 2)});
   }
   if (args.get_bool("csv")) {
     table.print_csv(std::cout);

@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "ecc/aegis.hpp"
 #include "ecc/ecp.hpp"
@@ -17,6 +19,8 @@ using namespace pcmsim;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  set_threads_from_cli(args);
+  const ScopedTimer timer("fig09_montecarlo");
   MonteCarloConfig mc;
   mc.trials = static_cast<std::size_t>(args.get_int("trials", 20000));
   mc.wrap_windows = !args.get_bool("no-wrap");
@@ -35,12 +39,23 @@ int main(int argc, char** argv) {
     for (auto s : sizes) header.push_back(std::to_string(s) + "B");
     TablePrinter table(header);
 
+    // Every (fault count, data size) grid point is an independent MC run with
+    // its own seed, so the grid parallelizes without changing any value.
+    const std::size_t nrows = 128 / step;
+    std::vector<double> grid(nrows * sizes.size());
+    parallel_for(grid.size(), [&](std::size_t idx) {
+      const std::size_t n = step * (idx / sizes.size() + 1);
+      const std::size_t si = idx % sizes.size();
+      Rng rng(seed + n * 131 + si);
+      grid[idx] = mc_failure_probability(*scheme, sizes[si], n, mc, rng);
+    });
+
     std::vector<std::size_t> half_point(sizes.size(), 0);  // first N with Pfail >= 0.5
-    for (std::size_t n = step; n <= 128; n += step) {
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const std::size_t n = step * (r + 1);
       std::vector<std::string> row = {std::to_string(n)};
       for (std::size_t si = 0; si < sizes.size(); ++si) {
-        Rng rng(seed + n * 131 + si);
-        const double p = mc_failure_probability(*scheme, sizes[si], n, mc, rng);
+        const double p = grid[r * sizes.size() + si];
         if (half_point[si] == 0 && p >= 0.5) half_point[si] = n;
         row.push_back(TablePrinter::fmt(p, 3));
       }

@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
 
@@ -12,6 +14,8 @@ using namespace pcmsim;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  set_threads_from_cli(args);
+  const ScopedTimer timer("fig12_tolerable_errors");
   auto scale = ExperimentScale::from_flag(
       args.get_bool("paper") ? "paper" : (args.get_bool("fast") ? "fast" : "default"));
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

@@ -25,6 +25,18 @@ namespace pcmsim {
   return splitmix64(s);
 }
 
+/// Combining hashes: derive an independent stream seed from a base seed plus
+/// one or two indices (e.g. mix64(seed, app_index, mode) for a sweep cell).
+/// Each combination feeds through a full splitmix64 round, so adjacent
+/// indices yield uncorrelated streams.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return mix64(mix64(a) ^ b);
+}
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(mix64(a, b) ^ c);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

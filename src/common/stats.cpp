@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -39,6 +41,21 @@ void RunningStat::merge(const RunningStat& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+ScopedTimer::ScopedTimer(std::string label, RunningStat* sink)
+    : label_(std::move(label)), sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  const double s = elapsed_seconds();
+  if (sink_) sink_->add(s);
+  if (!label_.empty()) {
+    std::cerr << "[time] " << label_ << ": " << s << " s\n";
+  }
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

@@ -1,6 +1,7 @@
 // Streaming statistics accumulators and histograms for simulator metrics.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -60,6 +61,26 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+};
+
+/// Monotonic wall-clock timer for bench runs. On destruction the elapsed
+/// seconds are added to the optional RunningStat sink and, when a label was
+/// given, reported on stderr as "[time] <label>: <seconds> s" — table output
+/// on stdout stays clean.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label, RunningStat* sink = nullptr);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (monotonic clock).
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  std::string label_;
+  RunningStat* sink_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Exact empirical CDF helper for modest sample counts (used for Fig 11).

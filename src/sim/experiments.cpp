@@ -1,8 +1,12 @@
 #include "sim/experiments.hpp"
 
 #include <iostream>
+#include <mutex>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 
 namespace pcmsim {
 
@@ -29,25 +33,45 @@ ExperimentScale ExperimentScale::from_flag(const std::string& which) {
 std::vector<LifetimeCell> run_lifetime_matrix(const std::vector<std::string>& apps,
                                               const std::vector<SystemMode>& modes,
                                               const ExperimentScale& scale, EccKind ecc) {
-  std::vector<LifetimeCell> cells;
-  for (const auto& name : apps) {
-    const AppProfile& app = profile_by_name(name);
-    for (const auto mode : modes) {
-      LifetimeConfig lc;
-      lc.system.mode = mode;
-      lc.system.ecc = ecc;
-      lc.system.device.lines = scale.physical_lines;
-      lc.system.device.endurance_mean = scale.endurance_mean;
-      lc.system.device.endurance_cov = scale.endurance_cov;
-      lc.system.device.seed = scale.seed + 17;
-      lc.system.seed = scale.seed;
-      lc.max_writes = 4'000'000'000ull;
-      std::cerr << "[lifetime] " << name << " / " << to_string(mode) << "..." << std::flush;
-      const auto result = run_lifetime(app, lc, scale.seed + 99);
-      std::cerr << " " << result.writes_to_failure << " writes\n";
-      cells.push_back(LifetimeCell{name, mode, result, lc});
-    }
+  struct CellSpec {
+    std::string app;
+    SystemMode mode;
+    std::size_t app_index;
+  };
+  std::vector<CellSpec> specs;
+  specs.reserve(apps.size() * modes.size());
+  for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+    for (const auto mode : modes) specs.push_back(CellSpec{apps[ai], mode, ai});
   }
+
+  // Each (app, mode) cell is an independent simulation with its own RNG
+  // streams derived from mix64(seed, app_index, mode): no state is shared
+  // across cells, so the matrix is bit-identical at any thread count (and a
+  // cell's result does not depend on which other cells run alongside it).
+  std::mutex log_m;
+  auto cells = parallel_map(specs, [&](const CellSpec& spec) {
+    const AppProfile& app = profile_by_name(spec.app);
+    const std::uint64_t cell_seed =
+        mix64(scale.seed, spec.app_index, static_cast<std::uint64_t>(spec.mode));
+    LifetimeConfig lc;
+    lc.system.mode = spec.mode;
+    lc.system.ecc = ecc;
+    lc.system.device.lines = scale.physical_lines;
+    lc.system.device.endurance_mean = scale.endurance_mean;
+    lc.system.device.endurance_cov = scale.endurance_cov;
+    lc.system.device.seed = mix64(cell_seed, 17);
+    lc.system.seed = cell_seed;
+    lc.max_writes = 4'000'000'000ull;
+    const auto result = run_lifetime(app, lc, mix64(cell_seed, 99));
+    {
+      std::ostringstream line;
+      line << "[lifetime] " << spec.app << " / " << to_string(spec.mode) << ": "
+           << result.writes_to_failure << " writes\n";
+      const std::lock_guard lk(log_m);
+      std::cerr << line.str();
+    }
+    return LifetimeCell{spec.app, spec.mode, result, lc};
+  });
   return cells;
 }
 

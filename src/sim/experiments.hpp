@@ -35,8 +35,10 @@ struct LifetimeCell {
   LifetimeConfig config;  ///< as run (for months conversion)
 };
 
-/// Runs `modes` x `apps` lifetime simulations at the given scale.
-/// Progress lines go to stderr so table output stays clean.
+/// Runs `modes` x `apps` lifetime simulations at the given scale, one cell
+/// per thread-pool task. Every cell's RNG streams derive from
+/// mix64(scale.seed, app_index, mode), so results are bit-identical at any
+/// thread count. Progress lines go to stderr so table output stays clean.
 [[nodiscard]] std::vector<LifetimeCell> run_lifetime_matrix(
     const std::vector<std::string>& apps, const std::vector<SystemMode>& modes,
     const ExperimentScale& scale, EccKind ecc = EccKind::kEcp6);

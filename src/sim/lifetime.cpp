@@ -18,6 +18,9 @@ LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
       break;
     }
   }
+  // The polled check can miss a failure that lands between the last interval
+  // boundary and the max_writes cap; settle it with one final check.
+  if (!result.reached_failure && system.failed()) result.reached_failure = true;
   const SystemStats& st = system.stats();
   result.writes_to_failure = st.writes;
   result.programmed_bits = static_cast<std::uint64_t>(st.flips_per_write.sum());

@@ -16,10 +16,16 @@ namespace pcmsim {
 struct MonteCarloConfig {
   std::size_t trials = 100'000;
   bool wrap_windows = true;  ///< rotation-style windows may wrap the line end
+  /// Trials per parallel shard. Each shard derives its own splitmix64 RNG
+  /// stream from a single draw off the caller's Rng, so the result is a pure
+  /// function of (config, rng state) — bit-identical at any thread count.
+  std::size_t chunk_trials = 8192;
 };
 
 /// Failure probability (1 - reliability) of storing `data_bytes` in a line
-/// with exactly `nerrors` random stuck cells under `scheme`.
+/// with exactly `nerrors` random stuck cells under `scheme`. Trials run on
+/// the global thread pool (see common/parallel.hpp); consumes exactly one
+/// draw from `rng` regardless of trial or thread count.
 [[nodiscard]] double mc_failure_probability(const HardErrorScheme& scheme,
                                             std::size_t data_bytes, std::size_t nerrors,
                                             const MonteCarloConfig& config, Rng& rng);

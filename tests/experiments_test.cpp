@@ -40,6 +40,25 @@ TEST(Experiments, MatrixRunsAndIndexes) {
   EXPECT_THROW((void)matrix_cell(cells, "gcc", SystemMode::kComp), ContractViolation);
 }
 
+TEST(Lifetime, FinalFailureCheckCatchesDeathAtWriteCap) {
+  // A failure landing between the last check_interval boundary and the
+  // max_writes cap must still be reported. Reproduce: find the failure point
+  // with normal polling, then rerun capped exactly there with a poll interval
+  // too large to ever fire — only the final check can set reached_failure.
+  LifetimeConfig lc;
+  lc.system.device.lines = 96;
+  lc.system.device.endurance_mean = 60;
+  const auto first = run_lifetime(profile_by_name("milc"), lc, 11);
+  ASSERT_TRUE(first.reached_failure);
+
+  LifetimeConfig capped = lc;
+  capped.max_writes = first.writes_to_failure;
+  capped.check_interval = first.writes_to_failure + 1;  // never polls mid-run
+  const auto second = run_lifetime(profile_by_name("milc"), capped, 11);
+  EXPECT_EQ(second.writes_to_failure, first.writes_to_failure);
+  EXPECT_TRUE(second.reached_failure);
+}
+
 TEST(Experiments, MatrixIsDeterministicForFixedSeed) {
   ExperimentScale tiny;
   tiny.endurance_mean = 60;

@@ -1,0 +1,100 @@
+// Unit tests for the global thread pool: index coverage and result ordering,
+// exception propagation, nested-region safety, and runtime resizing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
+
+namespace pcmsim {
+namespace {
+
+/// Restores automatic thread selection after each test.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+TEST_F(ParallelTest, ForRunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    set_parallel_threads(threads);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ForWithZeroOrOneIndex) {
+  set_parallel_threads(4);
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, MapPreservesResultOrdering) {
+  set_parallel_threads(7);
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = parallel_map(items, [](const int x) { return x * x; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(out[i], items[i] * items[i]);
+  }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesAndPoolSurvives) {
+  set_parallel_threads(4);
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> sum{0};
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_F(ParallelTest, NestedRegionsRunInlineWithoutDeadlock) {
+  set_parallel_threads(4);
+  constexpr std::size_t outer = 8;
+  constexpr std::size_t inner = 16;
+  std::vector<std::atomic<int>> counts(outer);
+  parallel_for(outer, [&](std::size_t o) {
+    parallel_for(inner, [&](std::size_t) { ++counts[o]; });
+  });
+  for (std::size_t o = 0; o < outer; ++o) EXPECT_EQ(counts[o].load(), inner);
+}
+
+TEST_F(ParallelTest, SetThreadsOverridesAndZeroRestoresAuto) {
+  set_parallel_threads(3);
+  EXPECT_EQ(parallel_threads(), 3u);
+  set_parallel_threads(1);
+  EXPECT_EQ(parallel_threads(), 1u);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1u);
+}
+
+TEST_F(ParallelTest, CliFlagSetsThreadCount) {
+  const char* argv[] = {"prog", "--threads", "5"};
+  const CliArgs args(3, argv);
+  EXPECT_EQ(set_threads_from_cli(args), 5u);
+  EXPECT_EQ(parallel_threads(), 5u);
+}
+
+TEST_F(ParallelTest, CliWithoutFlagKeepsCurrentCount) {
+  set_parallel_threads(2);
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_EQ(set_threads_from_cli(args), 2u);
+}
+
+}  // namespace
+}  // namespace pcmsim
