@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     TraceGenerator gen(app, 1 << 12, 7);
     struct State {
       Block stored{};
-      std::vector<bool> flags;
+      std::uint64_t flags = 0;
       bool seen = false;
     };
     std::unordered_map<LineAddr, State> lines;
@@ -44,7 +44,6 @@ int main(int argc, char** argv) {
       auto& st = lines[ev.line];
       if (!st.seen) {
         st.seen = true;
-        st.flags.assign(codec.groups_per_block(), false);
         st.stored = ev.data;
         continue;
       }
@@ -52,7 +51,7 @@ int main(int argc, char** argv) {
       fnw.add(static_cast<double>(codec.encoded_flips(ev.data, st.stored, st.flags)));
       const auto enc = codec.encode(ev.data, st.stored, st.flags);
       st.stored = enc.payload;
-      st.flags = enc.invert_flags;
+      st.flags = enc.invert_mask;
     }
     return Flips{dw.mean(), fnw.mean()};
   });

@@ -26,12 +26,12 @@ int main(int argc, char** argv) {
     RunningStat best_size;
     for (int i = 0; i < writes; ++i) {
       const auto ev = gen.next();
-      const auto b = best.bdi().compress(ev.data);
-      const auto f = best.fpc().compress(ev.data);
-      bdi_size.add(b ? static_cast<double>(b->size_bytes()) : 64.0);
-      fpc_size.add(f ? static_cast<double>(f->size_bytes()) : 64.0);
-      const double bb = b ? static_cast<double>(b->size_bytes()) : 64.0;
-      const double ff = f ? static_cast<double>(f->size_bytes()) : 64.0;
+      const auto b = best.bdi().probe_size(ev.data);
+      const auto f = best.fpc().probe_size(ev.data);
+      bdi_size.add(b ? static_cast<double>(*b) : 64.0);
+      fpc_size.add(f ? static_cast<double>(*f) : 64.0);
+      const double bb = b ? static_cast<double>(*b) : 64.0;
+      const double ff = f ? static_cast<double>(*f) : 64.0;
       best_size.add(std::min(bb, ff));
     }
     overall.add(best_size.mean() / 64.0);

@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
     std::uint64_t pairs = 0;
     for (int i = 0; i < writes; ++i) {
       const auto ev = gen.next();
-      const auto c = best.compress(ev.data);
-      const std::size_t size = c ? c->size_bytes() : kBlockBytes;
+      const auto c = best.probe_size(ev.data);
+      const std::size_t size = c ? *c : kBlockBytes;
       const auto it = last.find(ev.line);
       if (it != last.end()) {
         ++pairs;

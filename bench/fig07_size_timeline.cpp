@@ -29,7 +29,7 @@ void trace_app(const std::string& name, int samples, std::uint64_t seed, bool cs
   // blocks, and an incompressible one would be a flat 64-byte line).
   std::vector<LineAddr> blocks;
   for (const auto& [count, line] : ranked) {
-    if (best.compress(gen.current_value(line)).has_value()) blocks.push_back(line);
+    if (best.probe_size(gen.current_value(line)).has_value()) blocks.push_back(line);
     if (blocks.size() == 3) break;
   }
 
@@ -38,8 +38,8 @@ void trace_app(const std::string& name, int samples, std::uint64_t seed, bool cs
     const auto ev = gen.next();
     auto it = sizes.find(ev.line);
     if (std::find(blocks.begin(), blocks.end(), ev.line) == blocks.end()) continue;
-    const auto c = best.compress(ev.data);
-    sizes[ev.line].push_back(c ? c->size_bytes() : kBlockBytes);
+    const auto c = best.probe_size(ev.data);
+    sizes[ev.line].push_back(c ? *c : kBlockBytes);
     bool done = sizes.size() == 3;
     for (const auto& [_, v] : sizes) done = done && v.size() >= static_cast<std::size_t>(samples);
     if (done) break;

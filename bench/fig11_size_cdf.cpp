@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
     std::unordered_map<LineAddr, std::size_t> max_size;
     for (int i = 0; i < writes; ++i) {
       const auto ev = gen.next();
-      const auto c = best.compress(ev.data);
-      const std::size_t size = c ? c->size_bytes() : kBlockBytes;
+      const auto c = best.probe_size(ev.data);
+      const std::size_t size = c ? *c : kBlockBytes;
       auto& m = max_size[ev.line];
       m = std::max(m, size);
     }

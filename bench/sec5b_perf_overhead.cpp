@@ -37,7 +37,7 @@ Mix measure_mix(const AppProfile& app, std::uint64_t seed) {
   std::uint64_t total = 20000;
   for (std::uint64_t i = 0; i < total; ++i) {
     const auto ev = gen.next();
-    if (const auto c = best.compress(ev.data)) {
+    if (const auto c = best.probe(ev.data)) {
       ++comp;
       bdi += c->scheme == CompressionScheme::kBdi ? 1u : 0u;
     }

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   for (const auto& app : spec2006_profiles()) {
     RunningStat sizes;
     CmpSimulator sim(app, HierarchyConfig{}, seed, [&](const Writeback& wb) {
-      const auto c = best.compress(wb.data);
-      sizes.add(c ? static_cast<double>(c->size_bytes()) : 64.0);
+      const auto c = best.probe_size(wb.data);
+      sizes.add(c ? static_cast<double>(*c) : 64.0);
     });
     std::cerr << "[table3] " << app.name << "...\n";
     // Warm the hierarchy first (Section IV warms caches before measuring).

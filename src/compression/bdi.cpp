@@ -59,6 +59,13 @@ void store_word(Block& block, std::size_t i, std::size_t base_bytes, std::uint64
   std::memcpy(block.data() + i * base_bytes, &v, base_bytes);
 }
 
+/// Layouts in nondecreasing image-size order: zeros 1, rep8 8, b8d1 17,
+/// b4d1 22, b8d2 25, b2d1 38, b4d2 38, b8d4 41 bytes.
+constexpr BdiLayout kOrder[] = {
+    BdiLayout::kZeros, BdiLayout::kRep8, BdiLayout::kB8D1, BdiLayout::kB4D1,
+    BdiLayout::kB8D2,  BdiLayout::kB2D1, BdiLayout::kB4D2, BdiLayout::kB8D4,
+};
+
 }  // namespace
 
 std::string_view to_string(BdiLayout layout) {
@@ -93,9 +100,9 @@ std::optional<CompressedBlock> BdiCompressor::compress_with_layout(const Block& 
   out.encoding = static_cast<std::uint8_t>(layout);
 
   if (layout == BdiLayout::kZeros) {
-    for (auto b : block) {
-      if (b != 0) return std::nullopt;
-    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kBlockBytes / 8; ++i) acc |= load_word(block, i, 8);
+    if (acc != 0) return std::nullopt;
     out.bytes.assign(1, 0);
     return out;
   }
@@ -113,57 +120,84 @@ std::optional<CompressedBlock> BdiCompressor::compress_with_layout(const Block& 
   const auto [k, d] = geometry_of(layout);
   const std::size_t n = kBlockBytes / k;
 
-  // Pass 1: find the explicit base — the first word too large for the zero
-  // base — then check every word fits one of the two bases.
+  // Single pass: the explicit base is the first word too large for the zero
+  // base (its own delta is 0, which always fits); deltas stream straight
+  // into the image and the base-selector mask accumulates in a register
+  // (n <= 32 words).
+  out.bytes.resize(bdi_layout_size(layout));
   bool have_base = false;
   std::uint64_t base = 0;
-  std::vector<std::int64_t> deltas(n);
-  std::vector<bool> uses_base(n, false);
+  std::int64_t base_value = 0;
+  std::uint64_t uses_base = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto word = static_cast<std::int64_t>(sign_extend(load_word(block, i, k), k));
-    if (fits_signed(word, d)) {
-      deltas[i] = word;  // zero base
-      continue;
+    const std::int64_t word = sign_extend(load_word(block, i, k), k);
+    std::int64_t delta = word;  // zero base
+    if (!fits_signed(word, d)) {
+      if (!have_base) {
+        have_base = true;
+        base = load_word(block, i, k);
+        base_value = sign_extend(base, k);
+      }
+      delta = word - base_value;
+      if (!fits_signed(delta, d)) return std::nullopt;
+      uses_base |= 1ull << i;
     }
-    if (!have_base) {
-      have_base = true;
-      base = load_word(block, i, k);
-    }
-    const auto delta =
-        word - static_cast<std::int64_t>(sign_extend(base, k));
-    if (!fits_signed(delta, d)) return std::nullopt;
-    deltas[i] = delta;
-    uses_base[i] = true;
-  }
-
-  out.bytes.assign(bdi_layout_size(layout), 0);
-  std::memcpy(out.bytes.data(), &base, k);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto raw = static_cast<std::uint64_t>(deltas[i]);
+    const auto raw = static_cast<std::uint64_t>(delta);
     std::memcpy(out.bytes.data() + k + i * d, &raw, d);
   }
-  std::uint8_t* mask = out.bytes.data() + k + n * d;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (uses_base[i]) mask[i / 8] = static_cast<std::uint8_t>(mask[i / 8] | (1u << (i % 8)));
-  }
+  std::memcpy(out.bytes.data(), &base, k);
+  std::memcpy(out.bytes.data() + k + n * d, &uses_base, (n + 7) / 8);
   return out;
 }
 
-std::optional<CompressedBlock> BdiCompressor::compress(const Block& block) const {
-  // Try layouts in increasing image size so the first hit is the best.
-  static constexpr BdiLayout kOrder[] = {
-      BdiLayout::kZeros, BdiLayout::kRep8, BdiLayout::kB8D1, BdiLayout::kB4D1,
-      BdiLayout::kB8D2,  BdiLayout::kB2D1, BdiLayout::kB4D2, BdiLayout::kB8D4,
-  };
-  std::optional<CompressedBlock> best;
-  for (auto layout : kOrder) {
-    auto candidate = compress_with_layout(block, layout);
-    if (candidate && (!best || candidate->size_bytes() < best->size_bytes())) {
-      best = std::move(candidate);
-    }
+bool BdiCompressor::layout_applies(const Block& block, BdiLayout layout) {
+  if (layout == BdiLayout::kZeros) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kBlockBytes / 8; ++i) acc |= load_word(block, i, 8);
+    return acc == 0;
   }
-  if (best && best->size_bytes() >= kBlockBytes) return std::nullopt;
-  return best;
+
+  if (layout == BdiLayout::kRep8) {
+    const std::uint64_t first = load_word(block, 0, 8);
+    for (std::size_t i = 1; i < kBlockBytes / 8; ++i) {
+      if (load_word(block, i, 8) != first) return false;
+    }
+    return true;
+  }
+
+  const auto [k, d] = geometry_of(layout);
+  const std::size_t n = kBlockBytes / k;
+  bool have_base = false;
+  std::int64_t base_value = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t word = sign_extend(load_word(block, i, k), k);
+    if (fits_signed(word, d)) continue;
+    if (!have_base) {
+      have_base = true;
+      base_value = word;  // the base's own delta is 0
+      continue;
+    }
+    if (!fits_signed(word - base_value, d)) return false;
+  }
+  return true;
+}
+
+std::optional<CompressedBlock> BdiCompressor::compress(const Block& block) const {
+  // kOrder is nondecreasing in image size and the exhaustive scan's strict-<
+  // comparison kept the first of equal-size candidates, so stopping at the
+  // first applicable layout is bit-identical to trying all eight. Every
+  // layout size is < kBlockBytes, so no final size check is needed.
+  for (const auto layout : kOrder) {
+    if (auto candidate = compress_with_layout(block, layout)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> BdiCompressor::probe_size(const Block& block) const {
+  for (const auto layout : kOrder) {
+    if (layout_applies(block, layout)) return bdi_layout_size(layout);
+  }
+  return std::nullopt;
 }
 
 Block BdiCompressor::decompress(const CompressedBlock& cb) const {

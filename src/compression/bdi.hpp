@@ -32,6 +32,7 @@ enum class BdiLayout : std::uint8_t {
 class BdiCompressor final : public Compressor {
  public:
   [[nodiscard]] std::optional<CompressedBlock> compress(const Block& block) const override;
+  [[nodiscard]] std::optional<std::size_t> probe_size(const Block& block) const override;
   [[nodiscard]] Block decompress(const CompressedBlock& cb) const override;
   [[nodiscard]] std::string_view name() const override { return "BDI"; }
   [[nodiscard]] std::uint32_t decompression_latency_cycles() const override { return 1; }
@@ -39,6 +40,10 @@ class BdiCompressor final : public Compressor {
   /// Attempts exactly one layout; exposed for tests and ablation studies.
   [[nodiscard]] std::optional<CompressedBlock> compress_with_layout(const Block& block,
                                                                     BdiLayout layout) const;
+
+  /// True when `layout` can represent the block (image size is fixed per
+  /// layout, so this is the size-only probe for one layout).
+  [[nodiscard]] static bool layout_applies(const Block& block, BdiLayout layout);
 };
 
 }  // namespace pcmsim

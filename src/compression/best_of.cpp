@@ -23,6 +23,20 @@ std::optional<CompressedBlock> BestOfCompressor::compress(const Block& block) co
   return a->size_bytes() <= b->size_bytes() ? a : b;
 }
 
+std::optional<SizeProbe> BestOfCompressor::probe(const Block& block) const {
+  const auto a = bdi_.probe_size(block);
+  const auto b = fpc_.probe_size(block);
+  if (!a && !b) return std::nullopt;
+  if (a && (!b || *a <= *b)) return SizeProbe{*a, CompressionScheme::kBdi};
+  return SizeProbe{*b, CompressionScheme::kFpc};
+}
+
+std::optional<std::size_t> BestOfCompressor::probe_size(const Block& block) const {
+  const auto p = probe(block);
+  if (!p) return std::nullopt;
+  return p->size_bytes;
+}
+
 Block BestOfCompressor::decompress(const CompressedBlock& cb) const {
   switch (cb.scheme) {
     case CompressionScheme::kBdi: return bdi_.decompress(cb);

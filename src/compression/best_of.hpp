@@ -15,9 +15,22 @@ namespace pcmsim {
 [[nodiscard]] CompressionScheme unpack_scheme(std::uint8_t packed);
 [[nodiscard]] std::uint8_t unpack_layout(std::uint8_t packed);
 
+/// Size-only compression result: what probe() learns without materializing
+/// the winning image's bytes.
+struct SizeProbe {
+  std::size_t size_bytes = 0;
+  CompressionScheme scheme = CompressionScheme::kNone;
+};
+
 class BestOfCompressor final : public Compressor {
  public:
   [[nodiscard]] std::optional<CompressedBlock> compress(const Block& block) const override;
+  [[nodiscard]] std::optional<std::size_t> probe_size(const Block& block) const override;
+
+  /// Size-only probe keeping the winning scheme (for latency studies);
+  /// winner/tie rules match compress() exactly (ties go to BDI).
+  [[nodiscard]] std::optional<SizeProbe> probe(const Block& block) const;
+
   [[nodiscard]] Block decompress(const CompressedBlock& cb) const override;
   [[nodiscard]] std::string_view name() const override { return "BEST(BDI,FPC)"; }
 

@@ -1,68 +1,93 @@
 // LSB-first bit packing used by the FPC compressed image.
+//
+// Both ends run over caller-provided storage: the writer ORs 64-bit chunks
+// into a zeroed stack buffer, the reader walks any contiguous byte span, so
+// a compress/decompress round-trip performs no heap allocation.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <span>
 
 #include "common/assert.hpp"
 
 namespace pcmsim {
 
-/// Append-only bit writer (LSB-first within each byte).
+/// Append-only bit writer (LSB-first within each byte) over external storage.
+///
+/// The buffer must start zeroed (bits are ORed in) and keep 8 bytes of slack
+/// past the last addressable bit: each put() stores through unaligned 64-bit
+/// words, so capacity is (buf.size() - 8) * 8 bits.
 class BitWriter {
  public:
+  explicit BitWriter(std::span<std::uint8_t> buf) : buf_(buf) {
+    expects(buf.size() >= 8, "BitWriter buffer must hold the 64-bit store slack");
+  }
+
   /// Appends the low `nbits` bits of `value`.
   void put(std::uint64_t value, unsigned nbits) {
     expects(nbits <= 64, "put supports at most 64 bits");
+    expects(pos_ + nbits <= (buf_.size() - 8) * 8, "BitWriter overflow");
     if (nbits == 0) return;
     if (nbits < 64) value &= (1ull << nbits) - 1;
-    const std::size_t end_byte = (pos_ + nbits + 7) / 8;
-    if (end_byte > bytes_.size()) bytes_.resize(end_byte, 0);
-    unsigned written = 0;
-    while (written < nbits) {
-      const std::size_t byte = (pos_ + written) / 8;
-      const unsigned bit_in_byte = (pos_ + written) % 8;
-      const unsigned take = std::min(8u - bit_in_byte, nbits - written);
-      const auto chunk = static_cast<std::uint8_t>(((value >> written) & ((1u << take) - 1u))
-                                                   << bit_in_byte);
-      bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | chunk);
-      written += take;
+    const std::size_t byte = pos_ / 8;
+    const unsigned shift = pos_ % 8;
+    std::uint64_t lo = 0;
+    std::memcpy(&lo, buf_.data() + byte, 8);
+    lo |= value << shift;
+    std::memcpy(buf_.data() + byte, &lo, 8);
+    if (shift + nbits > 64) {
+      std::uint64_t hi = 0;
+      std::memcpy(&hi, buf_.data() + byte + 8, 8);
+      hi |= value >> (64 - shift);
+      std::memcpy(buf_.data() + byte + 8, &hi, 8);
     }
     pos_ += nbits;
   }
 
   [[nodiscard]] std::size_t bit_count() const { return pos_; }
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  [[nodiscard]] std::size_t byte_count() const { return (pos_ + 7) / 8; }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  std::span<std::uint8_t> buf_;
   std::size_t pos_ = 0;
 };
 
 /// Sequential bit reader matching BitWriter's layout.
 class BitReader {
  public:
-  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   /// Reads `nbits` bits; reading past the end is a contract violation.
   [[nodiscard]] std::uint64_t get(unsigned nbits) {
     expects(nbits <= 64, "get supports at most 64 bits");
     expects(pos_ + nbits <= bytes_.size() * 8, "bit read past end of stream");
+    if (nbits == 0) return 0;
+    // Gather the (at most 9) bytes covering [pos_, pos_ + nbits) one at a
+    // time: the span may end at the last touched byte, so a blind unaligned
+    // 64-bit load could run past it. The shift stays < 64: the last byte
+    // starts at output bit 8*(last-first) - skip <= 64 - skip (skip > 0
+    // whenever 9 bytes are covered); bits pushed past 64 fall off, matching
+    // the final nbits mask.
+    const std::size_t first = pos_ / 8;
+    const std::size_t last = (pos_ + nbits - 1) / 8;
     std::uint64_t v = 0;
-    for (unsigned i = 0; i < nbits; ++i) {
-      const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1u;
-      if (bit) v |= (1ull << i);
-      ++pos_;
+    unsigned out = 0;
+    unsigned skip = pos_ % 8;
+    for (std::size_t b = first; b <= last; ++b) {
+      v |= static_cast<std::uint64_t>(bytes_[b] >> skip) << out;
+      out += 8 - skip;
+      skip = 0;
     }
+    if (nbits < 64) v &= (1ull << nbits) - 1;
+    pos_ += nbits;
     return v;
   }
 
   [[nodiscard]] std::size_t bits_left() const { return bytes_.size() * 8 - pos_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };
 

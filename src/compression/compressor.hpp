@@ -9,8 +9,8 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
-#include <vector>
 
+#include "common/inline_bytes.hpp"
 #include "common/types.hpp"
 
 namespace pcmsim {
@@ -36,7 +36,7 @@ enum class CompressionScheme : std::uint8_t {
 /// `encoding` is scheme-specific (e.g. which BDI base/delta layout) and fits
 /// the 5-bit per-line metadata budget the paper allocates (Section III-B).
 struct CompressedBlock {
-  std::vector<std::uint8_t> bytes;  ///< payload, bytes.size() <= kBlockBytes
+  InlineBytes bytes;  ///< payload, bytes.size() <= kBlockBytes, stored inline
   CompressionScheme scheme = CompressionScheme::kNone;
   std::uint8_t encoding = 0;  ///< scheme-specific layout id (< 32)
 
@@ -52,6 +52,15 @@ class Compressor {
   /// Attempts to compress; a returned image is always strictly smaller than
   /// kBlockBytes and round-trips exactly through decompress().
   [[nodiscard]] virtual std::optional<CompressedBlock> compress(const Block& block) const = 0;
+
+  /// Compressed size in bytes without materializing the image, for callers
+  /// that only study sizes (fig03/fig11 CDFs, Table III). Agrees exactly with
+  /// compress(): same nullopt cases, same winning size.
+  [[nodiscard]] virtual std::optional<std::size_t> probe_size(const Block& block) const {
+    const auto c = compress(block);
+    if (!c) return std::nullopt;
+    return c->size_bytes();
+  }
 
   /// Reconstructs the original 64-byte block.
   /// Precondition: `cb` was produced by this compressor's compress().

@@ -1,5 +1,7 @@
 #include "compression/fpc.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -75,7 +77,11 @@ unsigned FpcCompressor::payload_bits(FpcPattern p) {
 }
 
 std::optional<CompressedBlock> FpcCompressor::compress(const Block& block) const {
-  BitWriter bw;
+  // Worst case is 16 uncompressed words = 16 * (3 + 32) = 560 bits = 70
+  // bytes (rejected below, but only after the image is fully built), plus
+  // the writer's 8-byte store slack: 80 bytes of zeroed stack scratch.
+  std::array<std::uint8_t, 80> raw{};
+  BitWriter bw(raw);
   std::size_t i = 0;
   while (i < kWords) {
     const std::uint32_t word = load_word(block, i);
@@ -115,13 +121,37 @@ std::optional<CompressedBlock> FpcCompressor::compress(const Block& block) const
     ++i;
   }
 
+  // 16 zero words fold to 2x6 bits; keep at least one byte so the image is
+  // never empty.
+  const std::size_t nbytes = std::max<std::size_t>(1, bw.byte_count());
+  if (nbytes >= kBlockBytes) return std::nullopt;
   CompressedBlock out;
   out.scheme = CompressionScheme::kFpc;
   out.encoding = 0;
-  out.bytes = std::move(bw).take();
-  if (out.bytes.empty()) out.bytes.push_back(0);  // 16 zero words fold to 2x6 bits
-  if (out.size_bytes() >= kBlockBytes) return std::nullopt;
+  out.bytes.assign(std::span<const std::uint8_t>(raw.data(), nbytes));
   return out;
+}
+
+std::optional<std::size_t> FpcCompressor::probe_size(const Block& block) const {
+  // Mirrors compress() exactly, summing field widths instead of packing.
+  std::size_t bits = 0;
+  std::size_t i = 0;
+  while (i < kWords) {
+    const std::uint32_t word = load_word(block, i);
+    const FpcPattern p = classify(word);
+    if (p == FpcPattern::kZeroRun) {
+      std::size_t run = 1;
+      while (run < 8 && i + run < kWords && load_word(block, i + run) == 0) ++run;
+      bits += 3 + 3;
+      i += run;
+      continue;
+    }
+    bits += 3 + payload_bits(p);
+    ++i;
+  }
+  const std::size_t nbytes = std::max<std::size_t>(1, (bits + 7) / 8);
+  if (nbytes >= kBlockBytes) return std::nullopt;
+  return nbytes;
 }
 
 Block FpcCompressor::decompress(const CompressedBlock& cb) const {

@@ -24,6 +24,7 @@ enum class FpcPattern : std::uint8_t {
 class FpcCompressor final : public Compressor {
  public:
   [[nodiscard]] std::optional<CompressedBlock> compress(const Block& block) const override;
+  [[nodiscard]] std::optional<std::size_t> probe_size(const Block& block) const override;
   [[nodiscard]] Block decompress(const CompressedBlock& cb) const override;
   [[nodiscard]] std::string_view name() const override { return "FPC"; }
   [[nodiscard]] std::uint32_t decompression_latency_cycles() const override { return 5; }

@@ -109,8 +109,9 @@ std::optional<std::size_t> PcmSystem::write_window(std::uint64_t physical, std::
   // Functional mode: store through the scheme's real encoder, re-encoding if
   // the write itself wears out further cells (write-verify-rewrite loop).
   std::size_t flips = 0;
+  WindowFaultBuffer fault_buf;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    const auto faults = window_faults(array_, physical, start, size_bytes);
+    const auto faults = window_faults_into(array_, physical, start, size_bytes, fault_buf);
     const auto enc = scheme_->encode(image, window_bits, faults);
     if (!enc) return std::nullopt;
     bool new_faults = false;
@@ -291,7 +292,8 @@ void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
 
   // Read the stored image out of `from` and restore it into `to`. In
   // functional mode decode first so the destination re-encodes cleanly.
-  std::vector<std::uint8_t> image(content.size_bytes);
+  InlineBytes image;
+  image.resize(content.size_bytes);
   const WindowSegments segs = window_segments(content.start_byte, content.size_bytes);
   std::size_t image_bit = 0;
   for (std::size_t s = 0; s < segs.count; ++s) {
@@ -300,8 +302,9 @@ void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
     image_bit += segs.seg[s].nbits;
   }
   if (config_.functional_verify) {
+    WindowFaultBuffer fault_buf;
     const auto faults =
-        window_faults(array_, move.from, content.start_byte, content.size_bytes);
+        window_faults_into(array_, move.from, content.start_byte, content.size_bytes, fault_buf);
     image = scheme_->decode(image, static_cast<std::size_t>(content.size_bytes) * 8,
                             ecc_meta_[move.from], faults);
   }
@@ -345,7 +348,8 @@ Block PcmSystem::read(LineAddr logical) const {
   if (!info.ever_written) return zero_block();
   expects(!info.dead, "reading a dead line");
 
-  std::vector<std::uint8_t> raw(info.size_bytes);
+  InlineBytes raw;
+  raw.resize(info.size_bytes);
   const WindowSegments segs = window_segments(info.start_byte, info.size_bytes);
   std::size_t image_bit = 0;
   for (std::size_t s = 0; s < segs.count; ++s) {
@@ -353,7 +357,9 @@ Block PcmSystem::read(LineAddr logical) const {
                       std::span<std::uint8_t>(raw).subspan(image_bit / 8));
     image_bit += segs.seg[s].nbits;
   }
-  const auto faults = window_faults(array_, physical, info.start_byte, info.size_bytes);
+  WindowFaultBuffer fault_buf;
+  const auto faults =
+      window_faults_into(array_, physical, info.start_byte, info.size_bytes, fault_buf);
   const auto decoded = scheme_->decode(raw, static_cast<std::size_t>(info.size_bytes) * 8,
                                        ecc_meta_[physical], faults);
 

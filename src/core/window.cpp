@@ -24,18 +24,29 @@ WindowSegments window_segments(std::uint8_t start_byte, std::uint8_t size_bytes)
 
 std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
                                      std::uint8_t start_byte, std::uint8_t size_bytes) {
+  WindowFaultBuffer buf;
+  const auto faults = window_faults_into(array, line, start_byte, size_bytes, buf);
+  return {faults.begin(), faults.end()};
+}
+
+std::span<const FaultCell> window_faults_into(const PcmArray& array, std::size_t line,
+                                              std::uint8_t start_byte, std::uint8_t size_bytes,
+                                              WindowFaultBuffer& buf) {
   const WindowSegments segs = window_segments(start_byte, size_bytes);
-  std::vector<FaultCell> out;
+  std::array<std::uint16_t, kBlockBits> positions;
+  buf.count = 0;
   std::size_t window_pos = 0;
   for (std::size_t s = 0; s < segs.count; ++s) {
-    const auto positions = array.stuck_positions(line, segs.seg[s].bit_off, segs.seg[s].nbits);
-    for (auto p : positions) {
-      const auto rel = static_cast<std::uint16_t>(window_pos + (p - segs.seg[s].bit_off));
-      out.push_back(FaultCell{rel, array.read_bit(line, p)});
+    const std::size_t n =
+        array.stuck_positions_into(line, segs.seg[s].bit_off, segs.seg[s].nbits, positions);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto rel =
+          static_cast<std::uint16_t>(window_pos + (positions[i] - segs.seg[s].bit_off));
+      buf.cells[buf.count++] = FaultCell{rel, array.read_bit(line, positions[i])};
     }
     window_pos += segs.seg[s].nbits;
   }
-  return out;
+  return {buf.cells.data(), buf.count};
 }
 
 bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t start,
@@ -49,7 +60,8 @@ bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t st
   // Fast path: every implemented scheme tolerates any pattern of up to
   // guaranteed_correctable() faults, so only larger sets need positions.
   if (stuck <= scheme_->guaranteed_correctable()) return true;
-  const auto faults = window_faults(array, line, start, size_bytes);
+  WindowFaultBuffer buf;
+  const auto faults = window_faults_into(array, line, start, size_bytes, buf);
   return scheme_->can_tolerate(faults, static_cast<std::size_t>(size_bytes) * 8);
 }
 

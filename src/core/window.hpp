@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ecc/scheme.hpp"
@@ -35,6 +36,20 @@ struct WindowSegments {
 [[nodiscard]] std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
                                                    std::uint8_t start_byte,
                                                    std::uint8_t size_bytes);
+
+/// Fixed-capacity fault storage: a 512-bit window holds at most 512 stuck
+/// cells, so per-write paths collect faults on the stack instead of a vector.
+struct WindowFaultBuffer {
+  std::array<FaultCell, kBlockBits> cells;
+  std::size_t count = 0;
+};
+
+/// Allocation-free window_faults(): fills `buf` and returns the live span.
+[[nodiscard]] std::span<const FaultCell> window_faults_into(const PcmArray& array,
+                                                            std::size_t line,
+                                                            std::uint8_t start_byte,
+                                                            std::uint8_t size_bytes,
+                                                            WindowFaultBuffer& buf);
 
 /// How the controller may move the window when the current position fails.
 enum class SlidePolicy : std::uint8_t {

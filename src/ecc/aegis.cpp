@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <unordered_set>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -85,12 +86,13 @@ std::optional<HardErrorScheme::EncodeResult> AegisScheme::encode(
   return out;
 }
 
-std::vector<std::uint8_t> AegisScheme::decode(std::span<const std::uint8_t> raw,
+InlineBytes AegisScheme::decode(std::span<const std::uint8_t> raw,
                                               std::size_t window_bits, std::uint64_t meta,
                                               std::span<const FaultCell> /*faults*/) const {
   const auto dir = static_cast<unsigned>(meta & 0x3Fu);
   expects(dir <= cols_, "corrupt Aegis metadata: bad direction");
-  std::vector<std::uint8_t> out((window_bits + 7) / 8, 0);
+  InlineBytes out;
+  out.assign((window_bits + 7) / 8, 0);
   for (std::size_t i = 0; i < window_bits; ++i) {
     const bool flip = (meta >> (6 + group_of(i, dir))) & 1u;
     set_bit(out, i, get_bit(raw, i) ^ flip);

@@ -29,7 +29,7 @@ std::optional<HardErrorScheme::EncodeResult> EcpScheme::encode(
     std::span<const FaultCell> faults) const {
   if (!can_tolerate(faults, window_bits)) return std::nullopt;
   EncodeResult out;
-  out.image.assign(data.begin(), data.end());
+  out.image.assign(data);
   std::uint64_t meta = 0;
   std::size_t used = 0;
   for (const auto& f : faults) {
@@ -45,10 +45,10 @@ std::optional<HardErrorScheme::EncodeResult> EcpScheme::encode(
   return out;
 }
 
-std::vector<std::uint8_t> EcpScheme::decode(std::span<const std::uint8_t> raw,
+InlineBytes EcpScheme::decode(std::span<const std::uint8_t> raw,
                                             std::size_t window_bits, std::uint64_t meta,
                                             std::span<const FaultCell> /*faults*/) const {
-  std::vector<std::uint8_t> out(raw.begin(), raw.end());
+  InlineBytes out(raw);
   const auto used = static_cast<std::size_t>((meta >> (entries_ * (kPointerBits + 1))) & 0x7u);
   expects(used <= entries_, "corrupt ECP metadata: too many active entries");
   for (std::size_t i = 0; i < used; ++i) {

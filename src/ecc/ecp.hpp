@@ -25,7 +25,7 @@ class EcpScheme final : public HardErrorScheme {
   [[nodiscard]] std::optional<EncodeResult> encode(
       std::span<const std::uint8_t> data, std::size_t window_bits,
       std::span<const FaultCell> faults) const override;
-  [[nodiscard]] std::vector<std::uint8_t> decode(std::span<const std::uint8_t> raw,
+  [[nodiscard]] InlineBytes decode(std::span<const std::uint8_t> raw,
                                                  std::size_t window_bits, std::uint64_t meta,
                                                  std::span<const FaultCell> faults) const override;
 

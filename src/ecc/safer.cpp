@@ -144,7 +144,7 @@ std::optional<HardErrorScheme::EncodeResult> SaferScheme::encode(
   return out;
 }
 
-std::vector<std::uint8_t> SaferScheme::decode(std::span<const std::uint8_t> raw,
+InlineBytes SaferScheme::decode(std::span<const std::uint8_t> raw,
                                               std::size_t window_bits, std::uint64_t meta,
                                               std::span<const FaultCell> /*faults*/) const {
   const unsigned use = fields_for(window_bits);
@@ -152,7 +152,8 @@ std::vector<std::uint8_t> SaferScheme::decode(std::span<const std::uint8_t> raw,
   for (unsigned i = 0; i < use; ++i) {
     fields[i] = static_cast<unsigned>((meta >> (i * 4)) & 0xFu);
   }
-  std::vector<std::uint8_t> out((window_bits + 7) / 8, 0);
+  InlineBytes out;
+  out.assign((window_bits + 7) / 8, 0);
   for (std::size_t i = 0; i < window_bits; ++i) {
     const std::size_t g = group_of(i, fields);
     const bool flip = (meta >> (fields_ * 4 + g)) & 1u;

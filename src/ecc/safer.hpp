@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ecc/scheme.hpp"
 
@@ -38,7 +39,7 @@ class SaferScheme final : public HardErrorScheme {
   [[nodiscard]] std::optional<EncodeResult> encode(
       std::span<const std::uint8_t> data, std::size_t window_bits,
       std::span<const FaultCell> faults) const override;
-  [[nodiscard]] std::vector<std::uint8_t> decode(std::span<const std::uint8_t> raw,
+  [[nodiscard]] InlineBytes decode(std::span<const std::uint8_t> raw,
                                                  std::size_t window_bits, std::uint64_t meta,
                                                  std::span<const FaultCell> faults) const override;
 

@@ -4,11 +4,10 @@
 
 namespace pcmsim {
 
-std::vector<std::uint8_t> apply_faults(std::span<const std::uint8_t> image,
-                                       std::size_t window_bits,
-                                       std::span<const FaultCell> faults) {
+InlineBytes apply_faults(std::span<const std::uint8_t> image, std::size_t window_bits,
+                         std::span<const FaultCell> faults) {
   expects(image.size() * 8 >= window_bits, "image too small for window");
-  std::vector<std::uint8_t> out(image.begin(), image.end());
+  InlineBytes out(image);
   for (const auto& f : faults) {
     expects(f.pos < window_bits, "fault outside window");
     set_bit(out, f.pos, f.stuck_value);

@@ -15,8 +15,8 @@
 #include <optional>
 #include <span>
 #include <string_view>
-#include <vector>
 
+#include "common/inline_bytes.hpp"
 #include "common/types.hpp"
 
 namespace pcmsim {
@@ -52,22 +52,22 @@ class HardErrorScheme {
   /// fault pattern is uncorrectable. `image` and `data` are LSB-first packed
   /// `window_bits`-long buffers; `meta` receives scheme metadata.
   struct EncodeResult {
-    std::vector<std::uint8_t> image;  ///< bits to program into the window
-    std::uint64_t meta = 0;           ///< metadata word (<= metadata_bits() used)
+    InlineBytes image;       ///< bits to program into the window (<= 64 bytes)
+    std::uint64_t meta = 0;  ///< metadata word (<= metadata_bits() used)
   };
   [[nodiscard]] virtual std::optional<EncodeResult> encode(
       std::span<const std::uint8_t> data, std::size_t window_bits,
       std::span<const FaultCell> faults) const = 0;
 
   /// Recovers the original data from a raw read of the window plus metadata.
-  [[nodiscard]] virtual std::vector<std::uint8_t> decode(
-      std::span<const std::uint8_t> raw, std::size_t window_bits, std::uint64_t meta,
-      std::span<const FaultCell> faults) const = 0;
+  [[nodiscard]] virtual InlineBytes decode(std::span<const std::uint8_t> raw,
+                                           std::size_t window_bits, std::uint64_t meta,
+                                           std::span<const FaultCell> faults) const = 0;
 };
 
 /// Applies stuck-at faults to an image: what the array would actually hold.
-[[nodiscard]] std::vector<std::uint8_t> apply_faults(std::span<const std::uint8_t> image,
-                                                     std::size_t window_bits,
-                                                     std::span<const FaultCell> faults);
+[[nodiscard]] InlineBytes apply_faults(std::span<const std::uint8_t> image,
+                                       std::size_t window_bits,
+                                       std::span<const FaultCell> faults);
 
 }  // namespace pcmsim

@@ -64,7 +64,7 @@ std::optional<HardErrorScheme::EncodeResult> SecdedScheme::encode(
     std::span<const FaultCell> faults) const {
   if (!can_tolerate(faults, window_bits)) return std::nullopt;
   EncodeResult out;
-  out.image.assign(data.begin(), data.end());
+  out.image.assign(data);
   std::uint64_t meta = 0;
   for (std::size_t w = 0; w < 8; ++w) {
     std::uint64_t word = 0;
@@ -77,11 +77,11 @@ std::optional<HardErrorScheme::EncodeResult> SecdedScheme::encode(
   return out;
 }
 
-std::vector<std::uint8_t> SecdedScheme::decode(std::span<const std::uint8_t> raw,
+InlineBytes SecdedScheme::decode(std::span<const std::uint8_t> raw,
                                                std::size_t window_bits, std::uint64_t meta,
                                                std::span<const FaultCell> /*faults*/) const {
   expects(window_bits == kBlockBits, "SECDED operates on whole 512-bit lines");
-  std::vector<std::uint8_t> out(raw.begin(), raw.end());
+  InlineBytes out(raw);
   for (std::size_t w = 0; w < 8; ++w) {
     std::uint64_t word = 0;
     for (std::size_t b = 0; b < 8; ++b) {

@@ -179,9 +179,17 @@ std::size_t PcmArray::count_stuck(std::size_t line, std::size_t bit_off,
 
 std::vector<std::uint16_t> PcmArray::stuck_positions(std::size_t line, std::size_t bit_off,
                                                      std::size_t nbits) const {
+  std::array<std::uint16_t, kLineTotalBits> buf;
+  const std::size_t n = stuck_positions_into(line, bit_off, nbits, buf);
+  return {buf.begin(), buf.begin() + n};
+}
+
+std::size_t PcmArray::stuck_positions_into(std::size_t line, std::size_t bit_off,
+                                           std::size_t nbits,
+                                           std::span<std::uint16_t> out) const {
   expects(bit_off + nbits <= kLineTotalBits, "range exceeds line");
-  std::vector<std::uint16_t> out;
   const std::size_t base = cell_index(line, bit_off);
+  std::size_t count = 0;
   std::size_t i = 0;
   while (i < nbits) {
     const unsigned chunk = static_cast<unsigned>(std::min<std::size_t>(64, nbits - i));
@@ -190,11 +198,12 @@ std::vector<std::uint16_t> PcmArray::stuck_positions(std::size_t line, std::size
     while (v != 0) {
       const unsigned b = static_cast<unsigned>(std::countr_zero(v));
       v &= v - 1;
-      out.push_back(static_cast<std::uint16_t>(bit_off + i + b));
+      expects(count < out.size(), "stuck position buffer too small");
+      out[count++] = static_cast<std::uint16_t>(bit_off + i + b);
     }
     i += chunk;
   }
-  return out;
+  return count;
 }
 
 std::uint32_t PcmArray::remaining_endurance(std::size_t line, std::size_t bit) const {

@@ -62,6 +62,11 @@ class PcmArray {
                                                            std::size_t bit_off,
                                                            std::size_t nbits) const;
 
+  /// Allocation-free variant: writes positions into `out` (which must hold
+  /// at least count_stuck() entries) and returns how many were written.
+  std::size_t stuck_positions_into(std::size_t line, std::size_t bit_off, std::size_t nbits,
+                                   std::span<std::uint16_t> out) const;
+
   /// Remaining endurance of one cell (0 when stuck).
   [[nodiscard]] std::uint32_t remaining_endurance(std::size_t line, std::size_t bit) const;
 

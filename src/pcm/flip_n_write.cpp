@@ -1,10 +1,36 @@
 #include "pcm/flip_n_write.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <cstring>
 
 #include "common/assert.hpp"
 
 namespace pcmsim {
+
+namespace {
+
+constexpr std::size_t kLanes = kBlockBytes / 8;
+
+using Lanes = std::array<std::uint64_t, kLanes>;
+
+Lanes load_lanes(const Block& b) {
+  Lanes out;
+  std::memcpy(out.data(), b.data(), kBlockBytes);
+  return out;
+}
+
+/// Inverting a group turns every matching bit into a mismatch and vice versa,
+/// so its data flips are group_bits - plain; the flag cell itself flips when
+/// the representation changes.
+bool invert_wins(std::size_t plain, std::size_t group_bits, bool was_inverted) {
+  const std::size_t plain_total = plain + (was_inverted ? 1 : 0);
+  const std::size_t inverted_total = (group_bits - plain) + (was_inverted ? 0 : 1);
+  return inverted_total < plain_total;
+}
+
+}  // namespace
 
 FlipNWriteCodec::FlipNWriteCodec(std::size_t group_bits) : group_bits_(group_bits) {
   expects(group_bits > 0 && kBlockBits % group_bits == 0, "group size must divide 512");
@@ -12,46 +38,61 @@ FlipNWriteCodec::FlipNWriteCodec(std::size_t group_bits) : group_bits_(group_bit
 }
 
 FlipNWriteCodec::Encoded FlipNWriteCodec::encode(const Block& data, const Block& stored,
-                                                 const std::vector<bool>& stored_flags) const {
-  expects(stored_flags.size() == groups_per_block(), "flag arity mismatch");
+                                                 std::uint64_t stored_mask) const {
+  Lanes w = load_lanes(data);
+  const Lanes h = load_lanes(stored);
   Encoded out;
-  out.invert_flags.resize(groups_per_block());
-  const std::size_t group_bytes = group_bits_ / 8;
-  for (std::size_t g = 0; g < groups_per_block(); ++g) {
-    const std::size_t off = g * group_bytes;
-    // Flips if we store the group plain vs inverted.
-    std::size_t plain = 0;
-    std::size_t inverted = 0;
-    for (std::size_t b = 0; b < group_bytes; ++b) {
-      const std::uint8_t want = data[off + b];
-      const std::uint8_t have = stored[off + b];
-      plain += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(want ^ have)));
-      inverted += static_cast<std::size_t>(
-          std::popcount(static_cast<unsigned>(static_cast<std::uint8_t>(~want) ^ have)));
+  if (group_bits_ >= 64) {
+    const std::size_t lanes = group_bits_ / 64;
+    for (std::size_t g = 0; g < groups_per_block(); ++g) {
+      std::size_t plain = 0;
+      for (std::size_t l = g * lanes; l < (g + 1) * lanes; ++l) {
+        plain += static_cast<std::size_t>(std::popcount(w[l] ^ h[l]));
+      }
+      if (invert_wins(plain, group_bits_, (stored_mask >> g) & 1u)) {
+        out.invert_mask |= 1ull << g;
+        for (std::size_t l = g * lanes; l < (g + 1) * lanes; ++l) w[l] = ~w[l];
+      }
     }
-    // Account the flag cell itself: changing representation flips it.
-    const bool was_inverted = stored_flags[g];
-    const std::size_t plain_total = plain + (was_inverted ? 1 : 0);
-    const std::size_t inverted_total = inverted + (was_inverted ? 0 : 1);
-    const bool invert = inverted_total < plain_total;
-    out.invert_flags[g] = invert;
-    for (std::size_t b = 0; b < group_bytes; ++b) {
-      out.payload[off + b] = invert ? static_cast<std::uint8_t>(~data[off + b]) : data[off + b];
+  } else {
+    const std::size_t per_lane = 64 / group_bits_;
+    const std::uint64_t gmask = (1ull << group_bits_) - 1;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint64_t diff = w[l] ^ h[l];
+      for (std::size_t s = 0; s < per_lane; ++s) {
+        const std::uint64_t m = gmask << (s * group_bits_);
+        const std::size_t g = l * per_lane + s;
+        const auto plain = static_cast<std::size_t>(std::popcount(diff & m));
+        if (invert_wins(plain, group_bits_, (stored_mask >> g) & 1u)) {
+          out.invert_mask |= 1ull << g;
+          w[l] ^= m;
+        }
+      }
     }
   }
+  std::memcpy(out.payload.data(), w.data(), kBlockBytes);
   return out;
 }
 
-Block FlipNWriteCodec::decode(const Block& payload, const std::vector<bool>& flags) const {
-  expects(flags.size() == groups_per_block(), "flag arity mismatch");
-  Block out{};
-  const std::size_t group_bytes = group_bits_ / 8;
-  for (std::size_t g = 0; g < groups_per_block(); ++g) {
-    const std::size_t off = g * group_bytes;
-    for (std::size_t b = 0; b < group_bytes; ++b) {
-      out[off + b] = flags[g] ? static_cast<std::uint8_t>(~payload[off + b]) : payload[off + b];
+Block FlipNWriteCodec::decode(const Block& payload, std::uint64_t mask) const {
+  Lanes p = load_lanes(payload);
+  if (group_bits_ >= 64) {
+    const std::size_t lanes = group_bits_ / 64;
+    for (std::size_t g = 0; g < groups_per_block(); ++g) {
+      if (!((mask >> g) & 1u)) continue;
+      for (std::size_t l = g * lanes; l < (g + 1) * lanes; ++l) p[l] = ~p[l];
+    }
+  } else {
+    const std::size_t per_lane = 64 / group_bits_;
+    const std::uint64_t gmask = (1ull << group_bits_) - 1;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      for (std::size_t s = 0; s < per_lane; ++s) {
+        if ((mask >> (l * per_lane + s)) & 1u) p[l] ^= gmask << (s * group_bits_);
+      }
     }
   }
+  Block out{};
+  std::memcpy(out.data(), p.data(), kBlockBytes);
   return out;
 }
 
@@ -60,13 +101,36 @@ std::size_t FlipNWriteCodec::dw_flips(const Block& data, const Block& stored) {
 }
 
 std::size_t FlipNWriteCodec::encoded_flips(const Block& data, const Block& stored,
-                                           const std::vector<bool>& stored_flags) const {
-  const Encoded enc = encode(data, stored, stored_flags);
-  std::size_t flips = hamming_distance(enc.payload, stored);
-  for (std::size_t g = 0; g < groups_per_block(); ++g) {
-    if (enc.invert_flags[g] != stored_flags[g]) ++flips;
+                                           std::uint64_t stored_mask) const {
+  // One pass: the chosen representation's cost is min(plain + flag-change,
+  // inverted + flag-change), exactly what encode() would pick per group.
+  const Lanes w = load_lanes(data);
+  const Lanes h = load_lanes(stored);
+  std::size_t total = 0;
+  if (group_bits_ >= 64) {
+    const std::size_t lanes = group_bits_ / 64;
+    for (std::size_t g = 0; g < groups_per_block(); ++g) {
+      std::size_t plain = 0;
+      for (std::size_t l = g * lanes; l < (g + 1) * lanes; ++l) {
+        plain += static_cast<std::size_t>(std::popcount(w[l] ^ h[l]));
+      }
+      const bool was = (stored_mask >> g) & 1u;
+      total += std::min(plain + (was ? 1u : 0u), (group_bits_ - plain) + (was ? 0u : 1u));
+    }
+  } else {
+    const std::size_t per_lane = 64 / group_bits_;
+    const std::uint64_t gmask = (1ull << group_bits_) - 1;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint64_t diff = w[l] ^ h[l];
+      for (std::size_t s = 0; s < per_lane; ++s) {
+        const auto plain =
+            static_cast<std::size_t>(std::popcount(diff & (gmask << (s * group_bits_))));
+        const bool was = (stored_mask >> (l * per_lane + s)) & 1u;
+        total += std::min(plain + (was ? 1u : 0u), (group_bits_ - plain) + (was ? 0u : 1u));
+      }
+    }
   }
-  return flips;
+  return total;
 }
 
 }  // namespace pcmsim

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -16,7 +15,9 @@ namespace pcmsim {
 
 class FlipNWriteCodec {
  public:
-  /// `group_bits` must divide 512; the canonical configuration is 32 or 64.
+  /// `group_bits` must divide 512 and be byte-aligned; the canonical
+  /// configuration is 32 or 64. Groups number at most 64 (512 / 8), so the
+  /// per-group invert flags pack into one 64-bit mask.
   explicit FlipNWriteCodec(std::size_t group_bits = 64);
 
   [[nodiscard]] std::size_t group_bits() const { return group_bits_; }
@@ -24,23 +25,24 @@ class FlipNWriteCodec {
 
   struct Encoded {
     Block payload{};                 ///< per-group possibly-inverted data
-    std::vector<bool> invert_flags;  ///< one flag per group (stored in flag cells)
+    std::uint64_t invert_mask = 0;   ///< bit g set = group g stored inverted
   };
 
   /// Chooses per-group inversion that minimizes flips against `stored`
-  /// (with the previous flags `stored_flags` describing how `stored` is coded).
+  /// (with the previous mask `stored_mask` describing how `stored` is coded).
   [[nodiscard]] Encoded encode(const Block& data, const Block& stored,
-                               const std::vector<bool>& stored_flags) const;
+                               std::uint64_t stored_mask) const;
 
-  /// Reconstructs plain data from a stored payload and its flags.
-  [[nodiscard]] Block decode(const Block& payload, const std::vector<bool>& flags) const;
+  /// Reconstructs plain data from a stored payload and its invert mask.
+  [[nodiscard]] Block decode(const Block& payload, std::uint64_t mask) const;
 
   /// Flips that a plain differential write of `data` over `stored` would need.
   [[nodiscard]] static std::size_t dw_flips(const Block& data, const Block& stored);
 
   /// Flips an encode/write of `data` would need, including flag-bit flips.
+  /// Single fused pass: never materializes the encoded payload.
   [[nodiscard]] std::size_t encoded_flips(const Block& data, const Block& stored,
-                                          const std::vector<bool>& stored_flags) const;
+                                          std::uint64_t stored_mask) const;
 
  private:
   std::size_t group_bits_;

@@ -91,6 +91,104 @@ TEST(Bdi, CompressAlwaysReturnsSmallestApplicableLayout) {
   }
 }
 
+// Exhaustive-scan reference for the early-exit compress(): try every layout,
+// keep the strictly smaller image (the first of equal-size candidates wins),
+// exactly what compress() did before the early exit.
+std::optional<CompressedBlock> exhaustive_compress(const BdiCompressor& c, const Block& b) {
+  static constexpr BdiLayout kSizeOrder[] = {
+      BdiLayout::kZeros, BdiLayout::kRep8, BdiLayout::kB8D1, BdiLayout::kB4D1,
+      BdiLayout::kB8D2,  BdiLayout::kB2D1, BdiLayout::kB4D2, BdiLayout::kB8D4,
+  };
+  std::optional<CompressedBlock> best;
+  for (const auto layout : kSizeOrder) {
+    auto cand = c.compress_with_layout(b, layout);
+    if (cand && (!best || cand->size_bytes() < best->size_bytes())) best = std::move(cand);
+  }
+  return best;
+}
+
+void expect_matches_exhaustive(const BdiCompressor& c, const Block& b, const char* what) {
+  const auto fast = c.compress(b);
+  const auto ref = exhaustive_compress(c, b);
+  const auto probed = c.probe_size(b);
+  ASSERT_EQ(fast.has_value(), ref.has_value()) << what;
+  EXPECT_EQ(probed.has_value(), ref.has_value()) << what;
+  if (!ref) return;
+  EXPECT_EQ(fast->encoding, ref->encoding) << what;
+  EXPECT_EQ(fast->size_bytes(), ref->size_bytes()) << what;
+  EXPECT_EQ(fast->bytes, ref->bytes) << what;
+  EXPECT_EQ(*probed, ref->size_bytes()) << what;
+}
+
+TEST(Bdi, EarlyExitMatchesExhaustiveScanOnAdversarialBlocks) {
+  BdiCompressor c;
+  expect_matches_exhaustive(c, zero_block(), "zeros");
+  expect_matches_exhaustive(c, block_of_u64(0xDEADBEEFCAFEF00Dull, 0), "rep8");
+  expect_matches_exhaustive(c, block_of_u64(0x7000'0000'0000'0000ull, 3), "b8d1");
+
+  // Only the late b2d1 layout applies: 2-byte words in one narrow cluster
+  // around 0x0100, but 4- and 8-byte views need multi-byte deltas.
+  Block late{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint16_t v = static_cast<std::uint16_t>(0x0100 + (i % 3) * 0x30);
+    std::memcpy(late.data() + i * 2, &v, 2);
+  }
+  {
+    ASSERT_TRUE(BdiCompressor::layout_applies(late, BdiLayout::kB2D1));
+    ASSERT_FALSE(BdiCompressor::layout_applies(late, BdiLayout::kB4D2));
+    const auto r = c.compress(late);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(static_cast<BdiLayout>(r->encoding), BdiLayout::kB2D1);
+  }
+  expect_matches_exhaustive(c, late, "late-layout");
+
+  // Equal-size tie: b2d1 and b4d2 are both 38 bytes and both apply (odd
+  // 16-bit words pinned to the b2d1 base, even words split between the zero
+  // base and the b2d1 base); the tie must go to b2d1, the earlier layout.
+  Block tie{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint16_t v = (i % 2 == 1) ? std::uint16_t{0x1234}
+                            : (i % 4 == 0) ? static_cast<std::uint16_t>(5 + i / 4)
+                                           : static_cast<std::uint16_t>(0x1234 + (i % 8));
+    std::memcpy(tie.data() + i * 2, &v, 2);
+  }
+  {
+    ASSERT_TRUE(BdiCompressor::layout_applies(tie, BdiLayout::kB2D1));
+    ASSERT_TRUE(BdiCompressor::layout_applies(tie, BdiLayout::kB4D2));
+    const auto r = c.compress(tie);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(static_cast<BdiLayout>(r->encoding), BdiLayout::kB2D1);
+  }
+  expect_matches_exhaustive(c, tie, "tie");
+
+  Rng rng(99);
+  Block incompressible{};
+  for (auto& byte : incompressible) byte = static_cast<std::uint8_t>(rng());
+  expect_matches_exhaustive(c, incompressible, "incompressible");
+}
+
+TEST(Bdi, EarlyExitMatchesExhaustiveScanOnRandomBlocks) {
+  BdiCompressor c;
+  Rng rng(0xB0D1);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Block b{};
+    // Random base with random-width deltas in 2/4/8-byte granularity, the
+    // same family the round-trip sweep uses, plus fully random blocks.
+    if (iter % 4 == 0) {
+      for (auto& byte : b) byte = static_cast<std::uint8_t>(rng());
+    } else {
+      const std::size_t k = std::size_t{1} << (1 + rng.next_below(3));  // 2,4,8
+      const std::uint64_t base = rng();
+      const unsigned delta_bits = 1 + static_cast<unsigned>(rng.next_below(40));
+      for (std::size_t i = 0; i < kBlockBytes / k; ++i) {
+        const std::uint64_t v = base + (rng() & ((1ull << delta_bits) - 1));
+        std::memcpy(b.data() + i * k, &v, k);
+      }
+    }
+    expect_matches_exhaustive(c, b, "random");
+  }
+}
+
 // Property: any compressible block round-trips exactly, across a large sweep
 // of structured random content.
 class BdiRoundTrip : public ::testing::TestWithParam<int> {};
