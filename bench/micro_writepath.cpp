@@ -7,11 +7,20 @@
 // and endurance high relative to the measured write count, so the loop
 // exercises exactly the path every lifetime/MC experiment spends its time in
 // (compress -> heuristic -> place -> differential write), not fault handling.
+// A separate aged-array stage measures window placement at 0/8/32 stuck
+// cells per line, the regime the fault-state caches accelerate.
+//
+// `--profile` adds the per-stage cycle counters (common/profiler.hpp) to the
+// JSON; `--expect_checksum N` exits non-zero when the deterministic work
+// checksum deviates — CI runs this to catch perf refactors that silently
+// change behaviour (see bench/CMakeLists.txt).
 #include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
 #include "compression/best_of.hpp"
 #include "core/system.hpp"
 #include "pcm/flip_n_write.hpp"
@@ -28,6 +37,36 @@ double ns_per_op(Clock::time_point t0, Clock::time_point t1, std::size_t ops) {
   return static_cast<double>(ns) / static_cast<double>(ops);
 }
 
+/// Placement cost on lines aged to `faults_per_line` stuck cells: kAnywhere
+/// find() of a 32-byte window (the median compressed size) over every line.
+double place_ns_per_find(std::size_t faults_per_line, std::uint64_t seed) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 256;
+  cfg.seed = seed;
+  PcmArray array(cfg);
+  Rng rng(mix64(seed, faults_per_line));
+  for (std::size_t line = 0; line < cfg.lines; ++line) {
+    for (std::size_t f = 0; f < faults_per_line; ++f) {
+      array.inject_fault(line, rng.next_below(kBlockBits), rng.next_bool(0.5));
+    }
+  }
+  const auto scheme = make_scheme(EccKind::kEcp6);
+  const WindowPlacer placer(*scheme);
+  constexpr std::size_t kIters = 200;
+  std::size_t sink = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t it = 0; it < kIters; ++it) {
+    for (std::size_t line = 0; line < cfg.lines; ++line) {
+      const auto preferred = static_cast<std::uint8_t>((line * 7 + it) % kBlockBytes);
+      const auto start = placer.find(array, line, 32, preferred, SlidePolicy::kAnywhere);
+      sink += start ? *start : kBlockBytes;
+    }
+  }
+  const auto t1 = Clock::now();
+  const double ns = ns_per_op(t0, t1, kIters * cfg.lines);
+  return sink == 0 ? ns + 1e-9 : ns;  // sink defeats dead-code elimination
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,6 +74,8 @@ int main(int argc, char** argv) {
   const auto writes = static_cast<std::size_t>(args.get_int("writes", 200000));
   const auto lines = static_cast<std::uint64_t>(args.get_int("lines", 4096));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto expect_checksum = args.get_int("expect_checksum", -1);
+  if (args.get_bool("profile")) prof::set_enabled(true);
 
   // Pre-generate a mixed corpus so trace generation stays out of every timed
   // loop. Three apps spanning the compressibility spectrum (Table III).
@@ -87,14 +128,33 @@ int main(int argc, char** argv) {
   for (const auto& ev : events) flips += system.write(ev.line, ev.data).flips;
   const auto w1 = Clock::now();
 
+  // --- Stage 4: placement search on aged lines ----------------------------
+  const double place_f0 = place_ns_per_find(0, seed);
+  const double place_f8 = place_ns_per_find(8, seed);
+  const double place_f32 = place_ns_per_find(32, seed);
+
   const double write_ns = ns_per_op(w0, w1, writes);
+  const std::size_t checksum = comp_bytes ^ fnw_flips ^ flips;
   std::cout << "{\n"
             << "  \"writes\": " << writes << ",\n"
             << "  \"compress_ns_per_op\": " << ns_per_op(c0, c1, writes) << ",\n"
             << "  \"fnw_encode_ns_per_op\": " << ns_per_op(f0, f1, writes) << ",\n"
             << "  \"system_write_ns_per_op\": " << write_ns << ",\n"
             << "  \"system_writes_per_sec\": " << 1e9 / write_ns << ",\n"
-            << "  \"checksum\": " << (comp_bytes ^ fnw_flips ^ flips) << "\n"
-            << "}\n";
+            << "  \"place_find_ns_faults0\": " << place_f0 << ",\n"
+            << "  \"place_find_ns_faults8\": " << place_f8 << ",\n"
+            << "  \"place_find_ns_faults32\": " << place_f32 << ",\n"
+            << "  \"checksum\": " << checksum;
+  if (prof::enabled()) {
+    std::cout << ",\n  \"profile\": ";
+    prof::dump_json(std::cout, "  ");
+  }
+  std::cout << "\n}\n";
+
+  if (expect_checksum >= 0 && static_cast<std::size_t>(expect_checksum) != checksum) {
+    std::cerr << "checksum mismatch: expected " << expect_checksum << ", got " << checksum
+              << " — the write path's observable behaviour changed\n";
+    return 1;
+  }
   return 0;
 }

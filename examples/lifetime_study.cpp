@@ -3,11 +3,16 @@
 // Table-IV-style months conversion.
 //
 //   ./build/examples/lifetime_study --app milc [--endurance 600] [--lines 768]
+//
+// `--profile` appends the write-path stage counters (trace-gen, compress,
+// heuristic, place, program, ECC, gap-move) as JSON, attributing the run's
+// time per stage — see common/profiler.hpp.
 #include <iostream>
 #include <mutex>
 
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
+#include "common/profiler.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
@@ -17,6 +22,7 @@ using namespace pcmsim;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   set_threads_from_cli(args);
+  if (args.get_bool("profile")) prof::set_enabled(true);
   const ScopedTimer timer("lifetime_study");
   const std::string app_name = args.get("app", "milc");
   const AppProfile& app = profile_by_name(app_name);
@@ -60,5 +66,10 @@ int main(int argc, char** argv) {
   table.print(std::cout, "Lifetime comparison — " + app.name);
   std::cout << "Paper (Fig 10): Comp can shorten lifetime for volatile/low-CR apps;\n"
             << "Comp+W never hurts; Comp+WF is best and grows with compressibility.\n";
+  if (prof::enabled()) {
+    std::cout << "profile: ";
+    prof::dump_json(std::cout, "");
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/profiler.hpp"
 #include "ecc/aegis.hpp"
 #include "ecc/ecp.hpp"
 #include "ecc/safer.hpp"
@@ -83,49 +84,55 @@ std::uint8_t PcmSystem::preferred_start(const LineMeta& info, std::uint32_t bank
   return 0;  // naive Comp: window initially at the least significant bytes
 }
 
+PcmSystem::SegmentWrite PcmSystem::write_window_segments(std::uint64_t physical,
+                                                         std::uint8_t start,
+                                                         std::span<const std::uint8_t> image,
+                                                         std::uint8_t size_bytes) {
+  const prof::ScopedStage stage(prof::Stage::kProgram);
+  const WindowSegments segs = window_segments(start, size_bytes);
+  SegmentWrite out;
+  std::size_t image_bit = 0;
+  for (std::size_t s = 0; s < segs.count; ++s) {
+    const auto res = array_.write_range(physical, segs.seg[s].bit_off,
+                                        image.subspan(image_bit / 8), segs.seg[s].nbits);
+    out.flips += res.programmed_bits;
+    out.new_faults = out.new_faults || res.new_faults > 0;
+    image_bit += segs.seg[s].nbits;
+  }
+  return out;
+}
+
 std::optional<std::size_t> PcmSystem::write_window(std::uint64_t physical, std::uint8_t start,
                                                    std::span<const std::uint8_t> image,
                                                    std::uint8_t size_bytes) {
-  const WindowSegments segs = window_segments(start, size_bytes);
-  const std::size_t window_bits = static_cast<std::size_t>(size_bytes) * 8;
-
   if (!config_.functional_verify) {
-    std::size_t flips = 0;
-    bool new_faults = false;
-    std::size_t image_bit = 0;
-    for (std::size_t s = 0; s < segs.count; ++s) {
-      const auto res = array_.write_range(physical, segs.seg[s].bit_off,
-                                          image.subspan(image_bit / 8), segs.seg[s].nbits);
-      flips += res.programmed_bits;
-      new_faults = new_faults || res.new_faults > 0;
-      image_bit += segs.seg[s].nbits;
-    }
+    const auto res = write_window_segments(physical, start, image, size_bytes);
     // A fault born during this write may push the window past the scheme's
     // strength; the verify read detects it and the caller re-places.
-    if (new_faults && !placer_.fits(array_, physical, start, size_bytes)) return std::nullopt;
-    return flips;
+    if (res.new_faults) {
+      const prof::ScopedStage stage(prof::Stage::kPlace);
+      if (!placer_.fits(array_, physical, start, size_bytes)) return std::nullopt;
+    }
+    return res.flips;
   }
 
   // Functional mode: store through the scheme's real encoder, re-encoding if
   // the write itself wears out further cells (write-verify-rewrite loop).
+  const std::size_t window_bits = static_cast<std::size_t>(size_bytes) * 8;
   std::size_t flips = 0;
   WindowFaultBuffer fault_buf;
   for (int attempt = 0; attempt < 8; ++attempt) {
     const auto faults = window_faults_into(array_, physical, start, size_bytes, fault_buf);
-    const auto enc = scheme_->encode(image, window_bits, faults);
-    if (!enc) return std::nullopt;
-    bool new_faults = false;
-    std::size_t image_bit = 0;
-    for (std::size_t s = 0; s < segs.count; ++s) {
-      const auto res =
-          array_.write_range(physical, segs.seg[s].bit_off,
-                             std::span<const std::uint8_t>(enc->image).subspan(image_bit / 8),
-                             segs.seg[s].nbits);
-      flips += res.programmed_bits;
-      new_faults = new_faults || res.new_faults > 0;
-      image_bit += segs.seg[s].nbits;
+    std::optional<HardErrorScheme::EncodeResult> enc;
+    {
+      const prof::ScopedStage stage(prof::Stage::kEcc);
+      enc = scheme_->encode(image, window_bits, faults);
     }
-    if (!new_faults) {
+    if (!enc) return std::nullopt;
+    const auto res = write_window_segments(
+        physical, start, std::span<const std::uint8_t>(enc->image), size_bytes);
+    flips += res.flips;
+    if (!res.new_faults) {
       ecc_meta_[physical] = enc->meta;
       return flips;
     }
@@ -142,7 +149,11 @@ std::optional<PcmSystem::PlacedWrite> PcmSystem::try_store(std::uint64_t physica
       size_bytes == kBlockBytes ? SlidePolicy::kStay : slide_policy();
   const std::uint8_t preferred = preferred_start(lines_[physical], bank, size_bytes);
   for (int attempt = 0; attempt < 4; ++attempt) {
-    const auto start = placer_.find(array_, physical, size_bytes, preferred, policy);
+    std::optional<std::uint8_t> start;
+    {
+      const prof::ScopedStage stage(prof::Stage::kPlace);
+      start = placer_.find(array_, physical, size_bytes, preferred, policy);
+    }
     if (!start) return std::nullopt;
     if (*start != preferred) ++stats_.window_slides;
     const auto flips = write_window(physical, *start, image, size_bytes);
@@ -183,14 +194,12 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
   // Dead lines: the advanced scheme re-attempts once per inter-line WL epoch
   // (Section III-A.3); other modes drop the write (the OS would remap).
   const auto epoch = static_cast<std::uint32_t>(startgap_.total_moves());
-  bool recycling_attempt = false;
   if (info.dead) {
     if (!config_.recycling_enabled() || info.recycle_epoch == epoch) {
       ++stats_.dropped_writes;
       return out;
     }
     info.recycle_epoch = epoch;
-    recycling_attempt = true;
   }
 
   // --- Compression decision (Fig 8) ---------------------------------------
@@ -198,10 +207,14 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
   bool want_compressed = false;
   std::uint8_t comp_size = kBlockBytes;
   if (config_.compression_enabled()) {
-    comp = compressor_.compress(data);
+    {
+      const prof::ScopedStage stage(prof::Stage::kCompress);
+      comp = compressor_.compress(data);
+    }
     if (comp) {
       comp_size = static_cast<std::uint8_t>(comp->size_bytes());
       if (config_.heuristic_enabled()) {
+        const prof::ScopedStage stage(prof::Stage::kHeuristic);
         const std::uint8_t old_size = info.ever_written ? info.size_bytes : kBlockBytes;
         const auto decision = decide_write(config_.heuristic, comp_size, old_size, info.sc);
         info.sc = decision.new_sc;
@@ -242,7 +255,6 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
       --stats_.lines_dead;
     }
     ++stats_.recycled_lines;
-    (void)recycling_attempt;
   }
   info.ever_written = true;
   info.start_byte = placed->start;
@@ -272,6 +284,7 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
 }
 
 void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
+  const prof::ScopedStage stage(prof::Stage::kGapMove);
   ++stats_.gap_moves;
   LineMeta content = lines_[move.from];
 
@@ -294,17 +307,12 @@ void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
   // functional mode decode first so the destination re-encodes cleanly.
   InlineBytes image;
   image.resize(content.size_bytes);
-  const WindowSegments segs = window_segments(content.start_byte, content.size_bytes);
-  std::size_t image_bit = 0;
-  for (std::size_t s = 0; s < segs.count; ++s) {
-    array_.read_range(move.from, segs.seg[s].bit_off, segs.seg[s].nbits,
-                      std::span<std::uint8_t>(image).subspan(image_bit / 8));
-    image_bit += segs.seg[s].nbits;
-  }
+  read_window_image(array_, move.from, content.start_byte, content.size_bytes, image);
   if (config_.functional_verify) {
     WindowFaultBuffer fault_buf;
     const auto faults =
         window_faults_into(array_, move.from, content.start_byte, content.size_bytes, fault_buf);
+    const prof::ScopedStage ecc_stage(prof::Stage::kEcc);
     image = scheme_->decode(image, static_cast<std::size_t>(content.size_bytes) * 8,
                             ecc_meta_[move.from], faults);
   }
@@ -350,13 +358,7 @@ Block PcmSystem::read(LineAddr logical) const {
 
   InlineBytes raw;
   raw.resize(info.size_bytes);
-  const WindowSegments segs = window_segments(info.start_byte, info.size_bytes);
-  std::size_t image_bit = 0;
-  for (std::size_t s = 0; s < segs.count; ++s) {
-    array_.read_range(physical, segs.seg[s].bit_off, segs.seg[s].nbits,
-                      std::span<std::uint8_t>(raw).subspan(image_bit / 8));
-    image_bit += segs.seg[s].nbits;
-  }
+  read_window_image(array_, physical, info.start_byte, info.size_bytes, raw);
   WindowFaultBuffer fault_buf;
   const auto faults =
       window_faults_into(array_, physical, info.start_byte, info.size_bytes, fault_buf);

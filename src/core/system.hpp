@@ -141,6 +141,15 @@ class PcmSystem {
                                           std::span<const std::uint8_t> image,
                                           std::uint8_t size_bytes);
 
+  /// One segmented differential write of a window image (the program stage).
+  struct SegmentWrite {
+    std::size_t flips = 0;
+    bool new_faults = false;
+  };
+  SegmentWrite write_window_segments(std::uint64_t physical, std::uint8_t start,
+                                     std::span<const std::uint8_t> image,
+                                     std::uint8_t size_bytes);
+
   void handle_gap_move(const StartGap::GapMove& move);
   void mark_dead(std::uint64_t physical);
   [[nodiscard]] SlidePolicy slide_policy() const;

@@ -29,6 +29,18 @@ std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
   return {faults.begin(), faults.end()};
 }
 
+void read_window_image(const PcmArray& array, std::size_t line, std::uint8_t start_byte,
+                       std::uint8_t size_bytes, std::span<std::uint8_t> out) {
+  expects(out.size() >= size_bytes, "window image buffer too small");
+  const WindowSegments segs = window_segments(start_byte, size_bytes);
+  std::size_t image_bit = 0;
+  for (std::size_t s = 0; s < segs.count; ++s) {
+    array.read_range(line, segs.seg[s].bit_off, segs.seg[s].nbits,
+                     out.subspan(image_bit / 8));
+    image_bit += segs.seg[s].nbits;
+  }
+}
+
 std::span<const FaultCell> window_faults_into(const PcmArray& array, std::size_t line,
                                               std::uint8_t start_byte, std::uint8_t size_bytes,
                                               WindowFaultBuffer& buf) {
@@ -49,16 +61,31 @@ std::span<const FaultCell> window_faults_into(const PcmArray& array, std::size_t
   return {buf.cells.data(), buf.count};
 }
 
+namespace {
+
+/// Window fault count from the line's per-byte prefix sums (wrap-aware).
+std::size_t window_stuck_from_prefix(std::span<const std::uint16_t> prefix,
+                                     std::size_t start_byte, std::size_t size_bytes) {
+  const std::size_t end = start_byte + size_bytes;
+  if (end <= kBlockBytes) {
+    return static_cast<std::size_t>(prefix[end] - prefix[start_byte]);
+  }
+  return static_cast<std::size_t>(prefix[kBlockBytes] - prefix[start_byte]) +
+         prefix[end - kBlockBytes];
+}
+
+}  // namespace
+
 bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t start,
                         std::uint8_t size_bytes) const {
-  const WindowSegments segs = window_segments(start, size_bytes);
-  std::size_t stuck = 0;
-  for (std::size_t s = 0; s < segs.count; ++s) {
-    stuck += array.count_stuck(line, segs.seg[s].bit_off, segs.seg[s].nbits);
-  }
-  if (stuck == 0) return true;
-  // Fast path: every implemented scheme tolerates any pattern of up to
-  // guaranteed_correctable() faults, so only larger sets need positions.
+  // O(1) fast path: a window can hold at most the line's total stuck cells,
+  // and every implemented scheme tolerates any pattern of up to
+  // guaranteed_correctable() faults — the common zero/low-fault line never
+  // scans a single window word.
+  const std::size_t line_stuck = array.data_stuck_count(line);
+  if (line_stuck <= scheme_->guaranteed_correctable()) return true;
+  const std::size_t stuck =
+      window_stuck_from_prefix(array.byte_stuck_prefix(line), start, size_bytes);
   if (stuck <= scheme_->guaranteed_correctable()) return true;
   WindowFaultBuffer buf;
   const auto faults = window_faults_into(array, line, start, size_bytes, buf);
@@ -69,23 +96,41 @@ std::optional<std::uint8_t> WindowPlacer::find(const PcmArray& array, std::size_
                                                std::uint8_t size_bytes, std::uint8_t preferred,
                                                SlidePolicy policy) const {
   expects(preferred < kBlockBytes, "preferred start must be inside the line");
+  const std::size_t guaranteed = scheme_->guaranteed_correctable();
+  const bool clean = array.data_stuck_count(line) <= guaranteed;
+
+  // Each policy tries `preferred` first, so when the whole line is below the
+  // guaranteed bound the answer is the first start its search order visits —
+  // no per-start work at all.
   switch (policy) {
     case SlidePolicy::kStay: {
+      if (clean) return preferred;
       if (fits(array, line, preferred, size_bytes)) return preferred;
       return std::nullopt;
     }
     case SlidePolicy::kSlideUp: {
       // Slide toward higher-order bytes only, never wrapping (Fig 4, step 3).
+      if (static_cast<std::size_t>(preferred) + size_bytes > kBlockBytes) return std::nullopt;
+      if (clean) return preferred;
+      const auto prefix = array.byte_stuck_prefix(line);
+      WindowFaultBuffer buf;
       for (std::uint8_t start = preferred;
            static_cast<std::size_t>(start) + size_bytes <= kBlockBytes; ++start) {
-        if (fits(array, line, start, size_bytes)) return start;
+        if (window_stuck_from_prefix(prefix, start, size_bytes) <= guaranteed) return start;
+        const auto faults = window_faults_into(array, line, start, size_bytes, buf);
+        if (scheme_->can_tolerate(faults, static_cast<std::size_t>(size_bytes) * 8)) return start;
       }
       return std::nullopt;
     }
     case SlidePolicy::kAnywhere: {
+      if (clean) return preferred;
+      const auto prefix = array.byte_stuck_prefix(line);
+      WindowFaultBuffer buf;
       for (std::size_t i = 0; i < kBlockBytes; ++i) {
         const auto start = static_cast<std::uint8_t>((preferred + i) % kBlockBytes);
-        if (fits(array, line, start, size_bytes)) return start;
+        if (window_stuck_from_prefix(prefix, start, size_bytes) <= guaranteed) return start;
+        const auto faults = window_faults_into(array, line, start, size_bytes, buf);
+        if (scheme_->can_tolerate(faults, static_cast<std::size_t>(size_bytes) * 8)) return start;
       }
       return std::nullopt;
     }

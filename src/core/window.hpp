@@ -33,9 +33,16 @@ struct WindowSegments {
 
 /// Stuck cells inside the window, positions *window-relative* (so the error
 /// scheme sees a contiguous protected unit), with their latched values.
+/// Test-only convenience (allocates); hot paths use window_faults_into().
 [[nodiscard]] std::vector<FaultCell> window_faults(const PcmArray& array, std::size_t line,
                                                    std::uint8_t start_byte,
                                                    std::uint8_t size_bytes);
+
+/// Reads the raw image of a (possibly wrapping) window into `out`, which must
+/// hold `size_bytes` bytes — the one segmented-read loop shared by the verify,
+/// gap-move, and read paths.
+void read_window_image(const PcmArray& array, std::size_t line, std::uint8_t start_byte,
+                       std::uint8_t size_bytes, std::span<std::uint8_t> out);
 
 /// Fixed-capacity fault storage: a 512-bit window holds at most 512 stuck
 /// cells, so per-write paths collect faults on the stack instead of a vector.

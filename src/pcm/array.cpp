@@ -60,6 +60,21 @@ PcmArray::PcmArray(const PcmDeviceConfig& config) : config_(config), rng_(config
         sample, 1.0, static_cast<double>(std::numeric_limits<std::uint16_t>::max()));
     e = static_cast<std::uint16_t>(clamped);
   }
+
+  // No stuck cells yet, so each line's watermark is simply the minimum
+  // sampled endurance over its data area.
+  watermark_.assign(config.lines, 0);
+  data_stuck_.assign(config.lines, 0);
+  prefix_valid_.assign(config.lines, 0);
+  // Eager (~130 B/line): building it lazily would put one allocation on the
+  // steady-state write path, which tests/alloc_regression_test.cpp forbids.
+  prefix_.assign(config.lines * (kBlockBytes + 1), 0);
+  for (std::size_t line = 0; line < config.lines; ++line) {
+    std::uint16_t wm = std::numeric_limits<std::uint16_t>::max();
+    const std::size_t base = line * kLineTotalBits;
+    for (std::size_t b = 0; b < kBlockBits; ++b) wm = std::min(wm, endurance_[base + b]);
+    watermark_[line] = wm;
+  }
 }
 
 std::size_t PcmArray::cell_index(std::size_t line, std::size_t bit) const {
@@ -113,6 +128,67 @@ PcmWriteResult PcmArray::write_range(std::size_t line, std::size_t bit_off,
   expects(data.size() * 8 >= nbits, "input buffer too small");
   PcmWriteResult result;
   const std::size_t base = cell_index(line, bit_off);
+
+  // Fast path: the watermark proves every non-stuck data cell survives one
+  // more pulse, so no fault can be born — value updates collapse to one
+  // masked XOR store per word, pulse tallies to popcounts, and the endurance
+  // scatter-update to a tight countr_zero loop with no branches and no RNG.
+  // Each cell in the range is programmed at most once, so the line minimum
+  // drops by at most 1: decrementing the watermark keeps it a lower bound.
+  // Ranges touching the ECC-chip area (tests only) take the per-bit path:
+  // the watermark only covers the data area.
+  if (bit_off + nbits <= kBlockBits && watermark_[line] >= 2) {
+    bool programmed_any = false;
+    std::size_t i = 0;
+    while (i < nbits) {
+      const unsigned chunk = static_cast<unsigned>(std::min<std::size_t>(64, nbits - i));
+      const std::uint64_t mask = chunk == 64 ? ~0ull : ((~0ull) >> (64 - chunk));
+      const std::uint64_t want = load_bits64(data, i, chunk);
+      const std::size_t pos = base + i;
+      const std::uint64_t stored = extract64(values_, pos) & mask;
+      const std::uint64_t stuckm = extract64(stuck_, pos) & mask;
+      const std::uint64_t diff = (stored ^ want) & mask;
+
+      result.mismatched_bits += static_cast<std::size_t>(std::popcount(diff & stuckm));
+
+      const std::uint64_t program = diff & ~stuckm;  // differential write: flip these
+      if (program != 0) {
+        programmed_any = true;
+        const auto nprog = static_cast<std::size_t>(std::popcount(program));
+        const auto nset = static_cast<std::size_t>(std::popcount(want & program));
+        result.programmed_bits += nprog;
+        total_programmed_ += nprog;
+        total_set_ += nset;
+        total_reset_ += nprog - nset;
+
+        const std::size_t w = pos / 64;
+        const unsigned sh = static_cast<unsigned>(pos % 64);
+        values_[w] ^= program << sh;
+        if (sh != 0 && (program >> (64 - sh)) != 0) values_[w + 1] ^= program >> (64 - sh);
+
+        std::uint64_t m = program;
+        while (m != 0) {
+          const unsigned b = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          --endurance_[pos + b];
+        }
+      }
+      i += chunk;
+    }
+    if (programmed_any) --watermark_[line];
+    return result;
+  }
+
+  write_range_slow(line, base, bit_off, data, nbits, result);
+  // Fault births may have removed the minimum cell from the non-stuck set;
+  // recompute the watermark exactly so the line re-arms the fast path.
+  rebuild_watermark(line);
+  return result;
+}
+
+void PcmArray::write_range_slow(std::size_t line, std::size_t base, std::size_t bit_off,
+                                std::span<const std::uint8_t> data, std::size_t nbits,
+                                PcmWriteResult& result) {
   std::size_t i = 0;
   while (i < nbits) {
     const unsigned chunk = static_cast<unsigned>(std::min<std::size_t>(64, nbits - i));
@@ -148,13 +224,56 @@ PcmWriteResult PcmArray::write_range(std::size_t line, std::size_t bit_off,
       set_stuck(idx);
       ++result.new_faults;
       ++total_faults_;
+      on_fault_born(line, bit_off + i + b);
       const bool stuck_value = !rng_.next_bool(config_.stuck_at_reset_fraction);
       set_value(idx, stuck_value);
       if (stuck_value != ((want >> b) & 1u)) ++result.mismatched_bits;
     }
     i += chunk;
   }
-  return result;
+}
+
+void PcmArray::rebuild_watermark(std::size_t line) {
+  const std::size_t word0 = line * kLineTotalBits / 64;
+  std::uint16_t wm = std::numeric_limits<std::uint16_t>::max();
+  bool any_live = false;
+  for (std::size_t w = 0; w < kBlockBits / 64; ++w) {
+    std::uint64_t live = ~stuck_[word0 + w];
+    const std::size_t cell0 = (word0 + w) * 64;
+    while (live != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(live));
+      live &= live - 1;
+      wm = std::min(wm, endurance_[cell0 + b]);
+      any_live = true;
+    }
+  }
+  watermark_[line] = any_live ? wm : 0;
+}
+
+void PcmArray::on_fault_born(std::size_t line, std::size_t bit) {
+  if (bit < kBlockBits) {
+    ++data_stuck_[line];
+    prefix_valid_[line] = 0;
+  }
+}
+
+std::span<const std::uint16_t> PcmArray::byte_stuck_prefix(std::size_t line) const {
+  expects(line < config_.lines, "line out of range");
+  std::uint16_t* p = prefix_.data() + line * (kBlockBytes + 1);
+  if (!prefix_valid_[line]) {
+    const std::size_t word0 = line * kLineTotalBits / 64;
+    p[0] = 0;
+    for (std::size_t w = 0; w < kBlockBits / 64; ++w) {
+      const std::uint64_t word = stuck_[word0 + w];
+      for (std::size_t j = 0; j < 8; ++j) {
+        const auto byte_count =
+            static_cast<std::uint16_t>(std::popcount((word >> (8 * j)) & 0xFFull));
+        p[w * 8 + j + 1] = static_cast<std::uint16_t>(p[w * 8 + j] + byte_count);
+      }
+    }
+    prefix_valid_[line] = 1;
+  }
+  return {p, kBlockBytes + 1};
 }
 
 bool PcmArray::is_stuck(std::size_t line, std::size_t bit) const {
@@ -215,8 +334,11 @@ void PcmArray::inject_fault(std::size_t line, std::size_t bit, bool stuck_value)
   if (!get_stuck(idx)) {
     set_stuck(idx);
     ++total_faults_;
+    on_fault_born(line, bit);
   }
   endurance_[idx] = 0;
+  // The cell leaves the watermark's non-stuck set, so the existing lower
+  // bound stays valid; zeroing its endurance must not drag the bound down.
   set_value(idx, stuck_value);
 }
 

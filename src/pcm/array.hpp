@@ -11,6 +11,16 @@
 // Storage is struct-of-arrays: value and stuck flags in packed 64-bit words,
 // remaining endurance in uint16 (sufficient for the scaled endurance used in
 // lifetime studies; construction rejects configurations that would overflow).
+//
+// The write kernel is word-level: value updates are one masked XOR store per
+// 64-bit word and SET/RESET pulses are tallied with popcounts. A per-line
+// *fault-free watermark* — a lower bound on the remaining endurance of every
+// non-stuck data-area cell — proves, for the common case, that no cell can
+// wear out during the write, so the fast path never branches per bit and
+// never touches the RNG (draws happen only at fault birth, which keeps the
+// fast path bit-identical to the definitional per-bit model by construction).
+// See EXPERIMENTS.md "Write-path performance" for the invariant and the
+// bit-identity verification procedure.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +68,7 @@ class PcmArray {
                                         std::size_t nbits) const;
 
   /// Positions (relative to line start) of stuck cells in the given range.
+  /// Test-only convenience (allocates); hot paths use stuck_positions_into().
   [[nodiscard]] std::vector<std::uint16_t> stuck_positions(std::size_t line,
                                                            std::size_t bit_off,
                                                            std::size_t nbits) const;
@@ -72,6 +83,25 @@ class PcmArray {
 
   /// Forces a cell into the stuck state (fault injection for tests/Monte Carlo).
   void inject_fault(std::size_t line, std::size_t bit, bool stuck_value);
+
+  /// Stuck cells in the line's 512-bit data area. O(1): maintained eagerly at
+  /// fault birth, which is what makes window placement O(1) on clean lines.
+  [[nodiscard]] std::size_t data_stuck_count(std::size_t line) const {
+    return data_stuck_[line];
+  }
+
+  /// Per-byte stuck-count prefix sums over the data area: entry `b` is the
+  /// number of stuck cells in bytes [0, b), so a (possibly wrapping) window's
+  /// fault count is two subtractions. Built lazily, cached until the line's
+  /// fault set changes (fault birth or inject_fault).
+  [[nodiscard]] std::span<const std::uint16_t> byte_stuck_prefix(std::size_t line) const;
+
+  /// Fast-path wear invariant (test introspection): a lower bound on the
+  /// remaining endurance of every non-stuck cell in the line's data area.
+  /// While it is >= 2 a differential write cannot wear out any cell.
+  [[nodiscard]] std::uint32_t endurance_watermark(std::size_t line) const {
+    return watermark_[line];
+  }
 
   /// Total programming pulses issued to this array since construction.
   [[nodiscard]] std::uint64_t total_programmed_bits() const { return total_programmed_; }
@@ -97,10 +127,27 @@ class PcmArray {
   [[nodiscard]] bool get_stuck(std::size_t idx) const;
   void set_stuck(std::size_t idx);
 
+  /// Definitional per-bit write used whenever the watermark cannot prove the
+  /// range wear-out-free; the only path that births faults (and draws RNG).
+  void write_range_slow(std::size_t line, std::size_t base, std::size_t bit_off,
+                        std::span<const std::uint8_t> data, std::size_t nbits,
+                        PcmWriteResult& result);
+
+  /// Recomputes the exact minimum remaining endurance over the line's
+  /// non-stuck data cells (0 when every data cell is stuck).
+  void rebuild_watermark(std::size_t line);
+
+  /// Cache maintenance at fault birth (write wear-out or inject_fault).
+  void on_fault_born(std::size_t line, std::size_t bit);
+
   PcmDeviceConfig config_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> stuck_;
   std::vector<std::uint16_t> endurance_;
+  std::vector<std::uint16_t> watermark_;    ///< per line, see endurance_watermark()
+  std::vector<std::uint16_t> data_stuck_;   ///< per line, exact data-area count
+  mutable std::vector<std::uint16_t> prefix_;        ///< lazy, lines x (kBlockBytes+1)
+  mutable std::vector<std::uint8_t> prefix_valid_;   ///< per line
   Rng rng_;
   std::uint64_t total_programmed_ = 0;
   std::uint64_t total_faults_ = 0;

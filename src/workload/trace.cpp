@@ -1,6 +1,7 @@
 #include "workload/trace.hpp"
 
 #include "common/assert.hpp"
+#include "common/profiler.hpp"
 
 namespace pcmsim {
 
@@ -30,6 +31,7 @@ const ValueClassSpec& TraceGenerator::class_of(LineAddr line) const {
 }
 
 WritebackEvent TraceGenerator::next() {
+  const prof::ScopedStage stage(prof::Stage::kTraceGen);
   const std::uint64_t rank = zipf_.sample(rng_);
   const LineAddr line = fold(rank);
   auto [it, fresh] = states_.try_emplace(line);

@@ -1,0 +1,253 @@
+// Differential reference-model test for the word-level PcmArray write kernel.
+//
+// ReferenceArray is a deliberately naive, definitional implementation: one
+// cell per vector slot, one branchy loop per bit, faults born inline. It
+// replays the exact constructor sampling and per-bit RNG draw order the real
+// array uses (draws happen only at fault birth, ascending bit order within a
+// write), so after any operation sequence the two must agree on every value,
+// stuck flag, endurance counter, result field, and global tally — bit for
+// bit. Any divergence means the fast path's watermark proof or its masked
+// XOR/popcount algebra is wrong.
+#include "pcm/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pcmsim {
+namespace {
+
+/// Definitional per-cell model of PcmArray. Mirrors the documented contract,
+/// not the implementation: differential write, one endurance unit per pulse,
+/// stuck-at latch on exhaustion with an RNG draw for the latched value.
+class ReferenceArray {
+ public:
+  explicit ReferenceArray(const PcmDeviceConfig& config) : config_(config), rng_(config.seed) {
+    const std::size_t cells = config.lines * kLineTotalBits;
+    value_.assign(cells, 0);
+    stuck_.assign(cells, 0);
+    endurance_.resize(cells);
+    for (auto& e : endurance_) {
+      const double sample =
+          rng_.next_lognormal_mean_cov(config.endurance_mean, config.endurance_cov);
+      const double clamped = std::clamp(
+          sample, 1.0, static_cast<double>(std::numeric_limits<std::uint16_t>::max()));
+      e = static_cast<std::uint16_t>(clamped);
+    }
+  }
+
+  PcmWriteResult write_range(std::size_t line, std::size_t bit_off,
+                             std::span<const std::uint8_t> data, std::size_t nbits) {
+    PcmWriteResult result;
+    for (std::size_t i = 0; i < nbits; ++i) {
+      const bool want = (data[i / 8] >> (i % 8)) & 1u;
+      const std::size_t idx = line * kLineTotalBits + bit_off + i;
+      if (stuck_[idx]) {
+        if (value_[idx] != static_cast<std::uint8_t>(want)) ++result.mismatched_bits;
+        continue;
+      }
+      if (value_[idx] == static_cast<std::uint8_t>(want)) continue;
+      ++result.programmed_bits;
+      ++total_programmed_;
+      if (want) {
+        ++total_set_;
+      } else {
+        ++total_reset_;
+      }
+      if (endurance_[idx] > 1) {
+        --endurance_[idx];
+        value_[idx] = want;
+        continue;
+      }
+      endurance_[idx] = 0;
+      stuck_[idx] = 1;
+      ++result.new_faults;
+      ++total_faults_;
+      const bool stuck_value = !rng_.next_bool(config_.stuck_at_reset_fraction);
+      value_[idx] = stuck_value;
+      if (stuck_value != want) ++result.mismatched_bits;
+    }
+    return result;
+  }
+
+  void inject_fault(std::size_t line, std::size_t bit, bool stuck_value) {
+    const std::size_t idx = line * kLineTotalBits + bit;
+    if (!stuck_[idx]) {
+      stuck_[idx] = 1;
+      ++total_faults_;
+    }
+    endurance_[idx] = 0;
+    value_[idx] = stuck_value;
+  }
+
+  [[nodiscard]] bool read_bit(std::size_t line, std::size_t bit) const {
+    return value_[line * kLineTotalBits + bit] != 0;
+  }
+  [[nodiscard]] bool is_stuck(std::size_t line, std::size_t bit) const {
+    return stuck_[line * kLineTotalBits + bit] != 0;
+  }
+  [[nodiscard]] std::uint32_t remaining_endurance(std::size_t line, std::size_t bit) const {
+    return endurance_[line * kLineTotalBits + bit];
+  }
+  [[nodiscard]] std::uint64_t total_programmed_bits() const { return total_programmed_; }
+  [[nodiscard]] std::uint64_t total_faults() const { return total_faults_; }
+  [[nodiscard]] std::uint64_t total_set_pulses() const { return total_set_; }
+  [[nodiscard]] std::uint64_t total_reset_pulses() const { return total_reset_; }
+
+ private:
+  PcmDeviceConfig config_;
+  std::vector<std::uint8_t> value_;
+  std::vector<std::uint8_t> stuck_;
+  std::vector<std::uint16_t> endurance_;
+  Rng rng_;
+  std::uint64_t total_programmed_ = 0;
+  std::uint64_t total_faults_ = 0;
+  std::uint64_t total_set_ = 0;
+  std::uint64_t total_reset_ = 0;
+};
+
+void expect_same_state(const PcmArray& real, const ReferenceArray& ref, std::size_t lines) {
+  for (std::size_t line = 0; line < lines; ++line) {
+    for (std::size_t bit = 0; bit < kLineTotalBits; ++bit) {
+      ASSERT_EQ(real.read_bit(line, bit), ref.read_bit(line, bit))
+          << "value mismatch at line " << line << " bit " << bit;
+      ASSERT_EQ(real.is_stuck(line, bit), ref.is_stuck(line, bit))
+          << "stuck mismatch at line " << line << " bit " << bit;
+      ASSERT_EQ(real.remaining_endurance(line, bit), ref.remaining_endurance(line, bit))
+          << "endurance mismatch at line " << line << " bit " << bit;
+    }
+  }
+  EXPECT_EQ(real.total_programmed_bits(), ref.total_programmed_bits());
+  EXPECT_EQ(real.total_faults(), ref.total_faults());
+  EXPECT_EQ(real.total_set_pulses(), ref.total_set_pulses());
+  EXPECT_EQ(real.total_reset_pulses(), ref.total_reset_pulses());
+}
+
+/// The watermark must never exceed the endurance of any live data cell (it is
+/// a lower bound; vacuously fine when the line has no live data cells).
+void expect_watermark_invariant(const PcmArray& real, std::size_t lines) {
+  for (std::size_t line = 0; line < lines; ++line) {
+    const std::uint32_t wm = real.endurance_watermark(line);
+    for (std::size_t bit = 0; bit < kBlockBits; ++bit) {
+      if (real.is_stuck(line, bit)) continue;
+      ASSERT_LE(wm, real.remaining_endurance(line, bit))
+          << "watermark above live-cell endurance at line " << line << " bit " << bit;
+    }
+  }
+}
+
+/// Drives both models through an identical randomized operation sequence and
+/// checks agreement after every operation, full state periodically.
+void run_differential(const PcmDeviceConfig& cfg, std::size_t ops, bool with_injects,
+                      std::uint64_t driver_seed) {
+  PcmArray real(cfg);
+  ReferenceArray ref(cfg);
+  expect_same_state(real, ref, cfg.lines);
+
+  Rng driver(driver_seed);
+  std::vector<std::uint8_t> data(kLineTotalBits / 8);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::size_t line = driver.next_below(cfg.lines);
+    if (with_injects && driver.next_below(16) == 0) {
+      const std::size_t bit = driver.next_below(kLineTotalBits);
+      const bool v = driver.next_bool(0.5);
+      real.inject_fault(line, bit, v);
+      ref.inject_fault(line, bit, v);
+    } else {
+      // Mix of range shapes: aligned full-block (the fast path's steady
+      // state), arbitrary unaligned, and full-line including the ECC area
+      // (always the slow path).
+      std::size_t bit_off = 0;
+      std::size_t nbits = 0;
+      switch (driver.next_below(4)) {
+        case 0:
+          nbits = kBlockBits;
+          break;
+        case 1:
+          nbits = kLineTotalBits;
+          break;
+        default:
+          bit_off = driver.next_below(kLineTotalBits);
+          nbits = 1 + driver.next_below(kLineTotalBits - bit_off);
+          break;
+      }
+      for (auto& b : data) b = static_cast<std::uint8_t>(driver.next_below(256));
+      const PcmWriteResult r_real = real.write_range(line, bit_off, data, nbits);
+      const PcmWriteResult r_ref = ref.write_range(line, bit_off, data, nbits);
+      ASSERT_EQ(r_real.programmed_bits, r_ref.programmed_bits) << "op " << op;
+      ASSERT_EQ(r_real.new_faults, r_ref.new_faults) << "op " << op;
+      ASSERT_EQ(r_real.mismatched_bits, r_ref.mismatched_bits) << "op " << op;
+    }
+    EXPECT_EQ(real.total_programmed_bits(), ref.total_programmed_bits()) << "op " << op;
+    EXPECT_EQ(real.total_faults(), ref.total_faults()) << "op " << op;
+    if (op % 64 == 0) {
+      expect_same_state(real, ref, cfg.lines);
+      expect_watermark_invariant(real, cfg.lines);
+    }
+  }
+  expect_same_state(real, ref, cfg.lines);
+  expect_watermark_invariant(real, cfg.lines);
+}
+
+TEST(PcmArrayReference, FaultFreeFastPathIsBitIdentical) {
+  // Endurance far above the write count: every data-area write takes the
+  // watermark fast path, and the models must still agree cell for cell.
+  PcmDeviceConfig cfg;
+  cfg.lines = 4;
+  cfg.endurance_mean = 5000;
+  cfg.endurance_cov = 0.2;
+  cfg.seed = 11;
+  run_differential(cfg, 600, /*with_injects=*/false, /*driver_seed=*/101);
+}
+
+TEST(PcmArrayReference, WearOutAndFaultBirthMatchDefinitionalModel) {
+  // Endurance low enough that cells wear out mid-run: exercises the slow
+  // path, fault births (and their RNG draw order), and the watermark rebuild
+  // that re-arms the fast path between births.
+  PcmDeviceConfig cfg;
+  cfg.lines = 6;
+  cfg.endurance_mean = 40;
+  cfg.endurance_cov = 0.3;
+  cfg.seed = 7;
+  run_differential(cfg, 2500, /*with_injects=*/false, /*driver_seed=*/202);
+}
+
+TEST(PcmArrayReference, InjectedFaultsInterleavedWithWrites) {
+  // inject_fault invalidates the placement caches and removes cells from the
+  // watermark's live set without a rebuild; interleaving it with wear-out
+  // writes must keep both models and the invariant in lockstep.
+  PcmDeviceConfig cfg;
+  cfg.lines = 5;
+  cfg.endurance_mean = 60;
+  cfg.endurance_cov = 0.25;
+  cfg.seed = 23;
+  run_differential(cfg, 2000, /*with_injects=*/true, /*driver_seed=*/303);
+}
+
+TEST(PcmArrayReference, WatermarkDecrementsOnFastPathWrites) {
+  PcmDeviceConfig cfg;
+  cfg.lines = 1;
+  cfg.endurance_mean = 1000;
+  cfg.endurance_cov = 0.0;
+  cfg.seed = 3;
+  PcmArray a(cfg);
+  const std::uint32_t wm0 = a.endurance_watermark(0);
+  ASSERT_GE(wm0, 2u);
+  std::vector<std::uint8_t> ones(kBlockBytes, 0xFF);
+  std::vector<std::uint8_t> zeros(kBlockBytes, 0x00);
+  a.write_range(0, 0, ones, kBlockBits);
+  EXPECT_EQ(a.endurance_watermark(0), wm0 - 1);
+  // A write that programs nothing must not burn watermark headroom.
+  a.write_range(0, 0, ones, kBlockBits);
+  EXPECT_EQ(a.endurance_watermark(0), wm0 - 1);
+  a.write_range(0, 0, zeros, kBlockBits);
+  EXPECT_EQ(a.endurance_watermark(0), wm0 - 2);
+}
+
+}  // namespace
+}  // namespace pcmsim
