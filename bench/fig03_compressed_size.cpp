@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
     RunningStat best_size;
     for (int i = 0; i < writes; ++i) {
       const auto ev = gen.next();
-      const auto b = best.bdi().probe_size(ev.data);
-      const auto f = best.fpc().probe_size(ev.data);
+      const auto [b, f] = best.probe_both(ev.data);  // one fused scan, both sizes
       bdi_size.add(b ? static_cast<double>(*b) : 64.0);
       fpc_size.add(f ? static_cast<double>(*f) : 64.0);
       const double bb = b ? static_cast<double>(*b) : 64.0;

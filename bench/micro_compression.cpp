@@ -3,6 +3,8 @@
 // their software-model throughput bounds the lifetime simulator's speed.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "compression/best_of.hpp"
 #include "workload/value_model.hpp"
@@ -44,21 +46,90 @@ void BM_FpcCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_FpcCompress);
 
-void BM_BestOfCompress(benchmark::State& state) {
+// The best-of pipeline is measured per phase: probe-only (size question),
+// plan (probe + winner/layout), plan+materialize (the full two-phase path),
+// and legacy one-shot compress(). Each phase exports a `work` counter — the
+// summed winning sizes (64 for incompressible) — so a run can confirm all
+// phases computed the same decisions: `work` must match across the four
+// benchmarks at equal value class.
+std::vector<Block> best_of_corpus(benchmark::State& state) {
   const auto cls = static_cast<ValueClass>(state.range(0));
-  const auto corpus = make_corpus(cls, cls == ValueClass::kFpcMixed ? 6 : 2);
+  return make_corpus(cls, cls == ValueClass::kFpcMixed ? 6 : 2);
+}
+
+void finish_best_of(benchmark::State& state, std::size_t work) {
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  // Average winning size per op: the cross-phase work checksum.
+  const auto iters = std::max<std::int64_t>(1, state.iterations());
+  state.counters["work_per_op"] = static_cast<double>(work) / static_cast<double>(iters);
+}
+
+void BM_BestOfProbe(benchmark::State& state) {
+  const auto corpus = best_of_corpus(state);
   BestOfCompressor c;
   std::size_t i = 0;
+  std::size_t work = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(c.compress(corpus[i++ % corpus.size()]));
+    const auto p = c.probe_size(corpus[i++ % corpus.size()]);
+    work += p ? *p : kBlockBytes;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  finish_best_of(state, work);
 }
-BENCHMARK(BM_BestOfCompress)
-    ->Arg(static_cast<int>(ValueClass::kZeroPage))
-    ->Arg(static_cast<int>(ValueClass::kNarrowInt64))
-    ->Arg(static_cast<int>(ValueClass::kFpcMixed))
-    ->Arg(static_cast<int>(ValueClass::kRandom));
+
+void BM_BestOfPlan(benchmark::State& state) {
+  const auto corpus = best_of_corpus(state);
+  BestOfCompressor c;
+  std::size_t i = 0;
+  std::size_t work = 0;
+  for (auto _ : state) {
+    const auto p = c.plan(corpus[i++ % corpus.size()]);
+    work += p ? p->size_bytes() : kBlockBytes;
+  }
+  finish_best_of(state, work);
+}
+
+void BM_BestOfPlanMaterialize(benchmark::State& state) {
+  const auto corpus = best_of_corpus(state);
+  BestOfCompressor c;
+  std::size_t i = 0;
+  std::size_t work = 0;
+  for (auto _ : state) {
+    const Block& b = corpus[i++ % corpus.size()];
+    const auto p = c.plan(b);
+    if (p) {
+      const auto image = c.materialize(b, *p);
+      work += image.size_bytes();
+      benchmark::DoNotOptimize(image.bytes.data());
+    } else {
+      work += kBlockBytes;
+    }
+  }
+  finish_best_of(state, work);
+}
+
+void BM_BestOfCompress(benchmark::State& state) {
+  const auto corpus = best_of_corpus(state);
+  BestOfCompressor c;
+  std::size_t i = 0;
+  std::size_t work = 0;
+  for (auto _ : state) {
+    const auto r = c.compress(corpus[i++ % corpus.size()]);
+    work += r ? r->size_bytes() : kBlockBytes;
+    benchmark::DoNotOptimize(r);
+  }
+  finish_best_of(state, work);
+}
+
+#define PCMSIM_BESTOF_ARGS                         \
+  ->Arg(static_cast<int>(ValueClass::kZeroPage))   \
+      ->Arg(static_cast<int>(ValueClass::kNarrowInt64)) \
+      ->Arg(static_cast<int>(ValueClass::kFpcMixed))    \
+      ->Arg(static_cast<int>(ValueClass::kRandom))
+
+BENCHMARK(BM_BestOfProbe) PCMSIM_BESTOF_ARGS;
+BENCHMARK(BM_BestOfPlan) PCMSIM_BESTOF_ARGS;
+BENCHMARK(BM_BestOfPlanMaterialize) PCMSIM_BESTOF_ARGS;
+BENCHMARK(BM_BestOfCompress) PCMSIM_BESTOF_ARGS;
 
 void BM_BdiDecompress(benchmark::State& state) {
   const auto corpus = make_corpus(ValueClass::kNarrowInt64, 2);

@@ -1,5 +1,6 @@
 // Write-path microbenchmark: times the steady-state stages of one serviced
-// write-back in isolation — best-of(BDI,FPC) compression, Flip-N-Write
+// write-back in isolation — best-of(BDI,FPC) size planning (the fused-scan
+// probe the write path runs per write), legacy full compression, Flip-N-Write
 // encoding — and the full PcmSystem::write loop, emitting machine-readable
 // JSON (see BENCH_writepath.json for committed before/after numbers).
 //
@@ -90,14 +91,31 @@ int main(int argc, char** argv) {
   }
 
   // --- Stage 1: best-of compression --------------------------------------
+  // 1a: the plan (probe-only) pass the write path now runs on every write;
+  // 1b: legacy full materialization of the winner, kept for before/after
+  // comparability. Their byte totals must agree (checked below), so the work
+  // checksum is identical to the pre-plan pipeline's.
   BestOfCompressor best;
   std::size_t comp_bytes = 0;  // sink: defeats dead-code elimination
+  const auto p0 = Clock::now();
+  for (const auto& ev : events) {
+    const auto p = best.plan(ev.data);
+    comp_bytes += p ? p->size_bytes() : kBlockBytes;
+  }
+  const auto p1 = Clock::now();
+
+  std::size_t legacy_bytes = 0;
   const auto c0 = Clock::now();
   for (const auto& ev : events) {
     const auto c = best.compress(ev.data);
-    comp_bytes += c ? c->size_bytes() : kBlockBytes;
+    legacy_bytes += c ? c->size_bytes() : kBlockBytes;
   }
   const auto c1 = Clock::now();
+  if (legacy_bytes != comp_bytes) {
+    std::cerr << "plan/compress size divergence: plan " << comp_bytes << " vs compress "
+              << legacy_bytes << "\n";
+    return 1;
+  }
 
   // --- Stage 2: Flip-N-Write encode (fused flip count) --------------------
   FlipNWriteCodec codec(64);
@@ -137,6 +155,7 @@ int main(int argc, char** argv) {
   const std::size_t checksum = comp_bytes ^ fnw_flips ^ flips;
   std::cout << "{\n"
             << "  \"writes\": " << writes << ",\n"
+            << "  \"plan_ns_per_op\": " << ns_per_op(p0, p1, writes) << ",\n"
             << "  \"compress_ns_per_op\": " << ns_per_op(c0, c1, writes) << ",\n"
             << "  \"fnw_encode_ns_per_op\": " << ns_per_op(f0, f1, writes) << ",\n"
             << "  \"system_write_ns_per_op\": " << write_ns << ",\n"

@@ -200,6 +200,22 @@ std::optional<std::size_t> BdiCompressor::probe_size(const Block& block) const {
   return std::nullopt;
 }
 
+std::optional<BdiLayout> BdiCompressor::probe_layout(const WordClassScan& scan) {
+  // Same walk as compress()/probe_size(block), but each layout's
+  // applicability comes from the scan's precomputed bit instead of a fresh
+  // pass over the block.
+  for (const auto layout : kOrder) {
+    if (scan.bdi_applies & (1u << static_cast<std::uint8_t>(layout))) return layout;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> BdiCompressor::probe_size(const WordClassScan& scan) {
+  const auto layout = probe_layout(scan);
+  if (!layout) return std::nullopt;
+  return bdi_layout_size(*layout);
+}
+
 Block BdiCompressor::decompress(const CompressedBlock& cb) const {
   expects(cb.scheme == CompressionScheme::kBdi, "not a BDI image");
   const auto layout = static_cast<BdiLayout>(cb.encoding);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "compression/compressor.hpp"
+#include "compression/word_scan.hpp"
 
 namespace pcmsim {
 
@@ -44,6 +45,15 @@ class BdiCompressor final : public Compressor {
   /// True when `layout` can represent the block (image size is fixed per
   /// layout, so this is the size-only probe for one layout).
   [[nodiscard]] static bool layout_applies(const Block& block, BdiLayout layout);
+
+  /// First applicable layout in the pinned nondecreasing-size order, answered
+  /// from a fused scan without re-walking the block. Agrees exactly with
+  /// compress()'s winning layout (ties keep the earlier layout).
+  [[nodiscard]] static std::optional<BdiLayout> probe_layout(const WordClassScan& scan);
+
+  /// Compressed size from a scan; same nullopt cases and sizes as
+  /// probe_size(block).
+  [[nodiscard]] static std::optional<std::size_t> probe_size(const WordClassScan& scan);
 };
 
 }  // namespace pcmsim

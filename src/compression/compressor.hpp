@@ -4,6 +4,15 @@
 // (Pekhimenko et al., PACT'12) and FPC (Alameldeen & Wood, ISCA'04), and always
 // stores the smaller of the two outputs ("BEST"). Both are implemented here
 // bit-accurately with full round-trip decompression.
+//
+// The interface is split into two phases:
+//  * probe (phase 1): size/scheme questions answered from a single fused
+//    WordClassScan pass over the block (word_scan.hpp) — no bit-packing. The
+//    write path's Figure-8 heuristic and window placement consume only this.
+//  * materialize (phase 2): producing the actual CompressedBlock image, paid
+//    only when a compressed store is accepted (BestOfCompressor::plan() /
+//    materialize()). compress() below remains the one-shot combination and
+//    the bit-identity reference for both phases.
 #pragma once
 
 #include <cstdint>

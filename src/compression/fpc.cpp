@@ -154,6 +154,70 @@ std::optional<std::size_t> FpcCompressor::probe_size(const Block& block) const {
   return nbytes;
 }
 
+std::optional<std::size_t> FpcCompressor::probe_size(const WordClassScan& scan) {
+  const std::size_t nbytes = std::max<std::size_t>(1, (scan.fpc_bits + 7) / 8);
+  if (nbytes >= kBlockBytes) return std::nullopt;
+  return nbytes;
+}
+
+CompressedBlock FpcCompressor::materialize(const Block& block, const WordClassScan& scan) const {
+  // Same packing loop as compress(), but the per-word pattern comes from the
+  // scan instead of re-classifying, and the caller has already probed the
+  // size so the >= kBlockBytes reject cannot trigger.
+  std::array<std::uint8_t, 80> raw{};
+  BitWriter bw(raw);
+  std::size_t i = 0;
+  while (i < kWords) {
+    const std::uint32_t word = load_word(block, i);
+    const auto p = static_cast<FpcPattern>(scan.word_class[i]);
+    bw.put(static_cast<std::uint64_t>(p), 3);
+    switch (p) {
+      case FpcPattern::kZeroRun: {
+        std::size_t run = 1;
+        while (run < 8 && i + run < kWords &&
+               scan.word_class[i + run] == static_cast<std::uint8_t>(FpcPattern::kZeroRun)) {
+          ++run;
+        }
+        bw.put(run - 1, 3);
+        i += run;
+        continue;
+      }
+      case FpcPattern::kSign4:
+        bw.put(word & 0xFu, 4);
+        break;
+      case FpcPattern::kSign8:
+        bw.put(word & 0xFFu, 8);
+        break;
+      case FpcPattern::kSign16:
+        bw.put(word & 0xFFFFu, 16);
+        break;
+      case FpcPattern::kHighHalfZeroPad:
+        bw.put(word >> 16, 16);
+        break;
+      case FpcPattern::kTwoSignedBytes:
+        bw.put(word & 0xFFu, 8);
+        bw.put((word >> 16) & 0xFFu, 8);
+        break;
+      case FpcPattern::kRepeatedByte:
+        bw.put(word & 0xFFu, 8);
+        break;
+      case FpcPattern::kUncompressed:
+        bw.put(word, 32);
+        break;
+    }
+    ++i;
+  }
+
+  const std::size_t nbytes = std::max<std::size_t>(1, bw.byte_count());
+  expects(nbytes == std::max<std::size_t>(1, (scan.fpc_bits + 7) / 8) && nbytes < kBlockBytes,
+          "materialize size disagrees with the scan's probe");
+  CompressedBlock out;
+  out.scheme = CompressionScheme::kFpc;
+  out.encoding = 0;
+  out.bytes.assign(std::span<const std::uint8_t>(raw.data(), nbytes));
+  return out;
+}
+
 Block FpcCompressor::decompress(const CompressedBlock& cb) const {
   expects(cb.scheme == CompressionScheme::kFpc, "not an FPC image");
   Block block{};

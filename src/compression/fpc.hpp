@@ -6,6 +6,7 @@
 #pragma once
 
 #include "compression/compressor.hpp"
+#include "compression/word_scan.hpp"
 
 namespace pcmsim {
 
@@ -34,6 +35,15 @@ class FpcCompressor final : public Compressor {
 
   /// Payload bits for a pattern (excluding the 3-bit prefix).
   [[nodiscard]] static unsigned payload_bits(FpcPattern p);
+
+  /// Compressed size from a fused scan (phase 1): same nullopt cases and
+  /// sizes as probe_size(block), derived from scan.fpc_bits alone.
+  [[nodiscard]] static std::optional<std::size_t> probe_size(const WordClassScan& scan);
+
+  /// Phase 2: packs the image using the scan's per-word classes (no
+  /// re-classification). Precondition: probe_size(scan) returned a value.
+  /// Bit-identical to compress(block)'s image.
+  [[nodiscard]] CompressedBlock materialize(const Block& block, const WordClassScan& scan) const;
 };
 
 }  // namespace pcmsim

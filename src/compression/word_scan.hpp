@@ -1,0 +1,46 @@
+// Phase 1 of the two-phase compression pipeline: a single fused pass over the
+// 8 u64 words of a block that classifies every word once and accumulates the
+// state both compressors need, so BDI, FPC, and best-of size questions are all
+// answered without re-walking the block and without touching a BitWriter.
+//
+// The scan is the probe side of the probe -> materialize split: PcmSystem and
+// the benches run placement and the Figure-8 heuristic on sizes derived from
+// the scan alone, and only pay the bit-packing (phase 2, materialize) when a
+// compressed store is actually accepted and placed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// Per-block classification produced by one fused pass (scan_block).
+///
+/// Invariants (asserted by the plan/materialize equivalence tests):
+///  * `word_class[i]` is exactly `FpcCompressor::classify()` of u32 word i
+///    (zero / sign-extended-narrow / halfword / repeated-byte / raw classes),
+///  * `fpc_bits` equals the legacy FPC probe's bit total (zero runs folded,
+///    8 words max per run),
+///  * bit L of `bdi_applies` is exactly `BdiCompressor::layout_applies()` for
+///    BdiLayout L — for every layout, not just the winning one — so a probe
+///    that walks the layouts in size order is bit-identical to the legacy
+///    early-exit walk.
+struct WordClassScan {
+  /// FpcPattern id per 4-byte word (run folding happens in `fpc_bits`).
+  std::array<std::uint8_t, kBlockBytes / 4> word_class{};
+  /// Total FPC stream bits with zero runs folded; the compressed byte count
+  /// is max(1, ceil(fpc_bits / 8)), incompressible when that reaches 64.
+  std::uint32_t fpc_bits = 0;
+  /// Bit per BdiLayout id: layout can represent the block.
+  std::uint8_t bdi_applies = 0;
+  bool all_zero = false;  ///< convenience mirror of the kZeros bit
+  bool rep8 = false;      ///< convenience mirror of the kRep8 bit
+};
+
+/// Runs the fused classification pass. All-zero blocks short-circuit (every
+/// derived field is still exact); everything else takes the single full pass.
+[[nodiscard]] WordClassScan scan_block(const Block& block);
+
+}  // namespace pcmsim

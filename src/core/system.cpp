@@ -143,24 +143,8 @@ std::optional<std::size_t> PcmSystem::write_window(std::uint64_t physical, std::
 std::optional<PcmSystem::PlacedWrite> PcmSystem::try_store(std::uint64_t physical,
                                                            std::uint32_t bank,
                                                            std::span<const std::uint8_t> image,
-                                                           std::uint8_t size_bytes,
-                                                           bool /*compressed*/) {
-  const SlidePolicy policy =
-      size_bytes == kBlockBytes ? SlidePolicy::kStay : slide_policy();
-  const std::uint8_t preferred = preferred_start(lines_[physical], bank, size_bytes);
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    std::optional<std::uint8_t> start;
-    {
-      const prof::ScopedStage stage(prof::Stage::kPlace);
-      start = placer_.find(array_, physical, size_bytes, preferred, policy);
-    }
-    if (!start) return std::nullopt;
-    if (*start != preferred) ++stats_.window_slides;
-    const auto flips = write_window(physical, *start, image, size_bytes);
-    if (flips) return PlacedWrite{*start, *flips};
-    // Window became intolerable mid-write; search again with the fresh faults.
-  }
-  return std::nullopt;
+                                                           std::uint8_t size_bytes) {
+  return try_store_with(physical, bank, [&image] { return image; }, size_bytes);
 }
 
 void PcmSystem::mark_dead(std::uint64_t physical) {
@@ -202,17 +186,22 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
     info.recycle_epoch = epoch;
   }
 
-  // --- Compression decision (Fig 8) ---------------------------------------
+  // --- Compression decision (Fig 8), phase 1 only -------------------------
+  // plan() answers the winning scheme and size from one fused scan; the
+  // heuristic and placement below run on that size alone. The image bytes are
+  // materialized lazily (phase 2) the first time a compressed store reaches
+  // the programming step, so writes that end up uncompressed never pack bits.
+  std::optional<CompressionPlan> plan;
   std::optional<CompressedBlock> comp;
   bool want_compressed = false;
   std::uint8_t comp_size = kBlockBytes;
   if (config_.compression_enabled()) {
     {
       const prof::ScopedStage stage(prof::Stage::kCompress);
-      comp = compressor_.compress(data);
+      plan = compressor_.plan(data);
     }
-    if (comp) {
-      comp_size = static_cast<std::uint8_t>(comp->size_bytes());
+    if (plan) {
+      comp_size = static_cast<std::uint8_t>(plan->size_bytes());
       if (config_.heuristic_enabled()) {
         const prof::ScopedStage stage(prof::Stage::kHeuristic);
         const std::uint8_t old_size = info.ever_written ? info.size_bytes : kBlockBytes;
@@ -228,14 +217,21 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
   // --- Store, falling back to the other representation if needed ----------
   std::optional<PlacedWrite> placed;
   bool stored_compressed = false;
+  const auto compressed_image = [&]() -> std::span<const std::uint8_t> {
+    if (!comp) {
+      const prof::ScopedStage stage(prof::Stage::kCompress);
+      comp = compressor_.materialize(data, *plan);
+    }
+    return comp->bytes;
+  };
   for (int pass = 0; pass < 2 && !placed; ++pass) {
     const bool use_comp = pass == 0 ? want_compressed : !want_compressed;
     if (use_comp) {
-      if (!comp) continue;
-      placed = try_store(physical, bank, comp->bytes, comp_size, true);
+      if (!plan) continue;
+      placed = try_store_with(physical, bank, compressed_image, comp_size);
       if (placed) stored_compressed = true;
     } else {
-      placed = try_store(physical, bank, data, kBlockBytes, false);
+      placed = try_store(physical, bank, data, kBlockBytes);
     }
     if (pass == 0 && !placed && !config_.compression_enabled()) break;
   }
@@ -260,7 +256,7 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
   info.start_byte = placed->start;
   info.compressed = stored_compressed;
   info.size_bytes = stored_compressed ? comp_size : static_cast<std::uint8_t>(kBlockBytes);
-  info.encoding = stored_compressed ? pack_encoding(comp->scheme, comp->encoding)
+  info.encoding = stored_compressed ? pack_encoding(plan->scheme, plan->encoding)
                                     : pack_encoding(CompressionScheme::kNone, 0);
 
   out.stored = true;
@@ -326,7 +322,7 @@ void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
     t.ever_written = false;
     return;
   }
-  const auto placed = try_store(move.to, bank, image, content.size_bytes, content.compressed);
+  const auto placed = try_store(move.to, bank, image, content.size_bytes);
   if (!placed) {
     // Migration failed: the destination cannot hold this data.
     mark_dead(move.to);

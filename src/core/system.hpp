@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/profiler.hpp"
 #include "common/stats.hpp"
 #include "compression/best_of.hpp"
 #include "core/heuristic.hpp"
@@ -133,7 +134,33 @@ class PcmSystem {
   /// cannot hold the data (caller marks it dead).
   std::optional<PlacedWrite> try_store(std::uint64_t physical, std::uint32_t bank,
                                        std::span<const std::uint8_t> image,
-                                       std::uint8_t size_bytes, bool compressed);
+                                       std::uint8_t size_bytes);
+
+  /// try_store generalized over a deferred image: placement runs on
+  /// `size_bytes` alone and `image_of()` is first invoked only when a window
+  /// has been found and is about to be programmed — this is what lets the
+  /// compressed path delay materialization past the placement search.
+  template <typename ImageFn>
+  std::optional<PlacedWrite> try_store_with(std::uint64_t physical, std::uint32_t bank,
+                                            ImageFn&& image_of, std::uint8_t size_bytes) {
+    const SlidePolicy policy =
+        size_bytes == kBlockBytes ? SlidePolicy::kStay : slide_policy();
+    const std::uint8_t preferred = preferred_start(lines_[physical], bank, size_bytes);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      std::optional<std::uint8_t> start;
+      {
+        const prof::ScopedStage stage(prof::Stage::kPlace);
+        start = placer_.find(array_, physical, size_bytes, preferred, policy);
+      }
+      if (!start) return std::nullopt;
+      if (*start != preferred) ++stats_.window_slides;
+      const auto flips = write_window(physical, *start, image_of(), size_bytes);
+      if (flips) return PlacedWrite{*start, *flips};
+      // Window became intolerable mid-write; search again with the fresh
+      // faults.
+    }
+    return std::nullopt;
+  }
 
   /// Writes `image` into the window at `start` (splitting wrap segments);
   /// returns programming pulses. In functional mode routes through encode().

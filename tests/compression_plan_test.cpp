@@ -1,0 +1,182 @@
+// Plan/materialize equivalence: the two-phase pipeline (fused WordClassScan
+// probe -> deferred materialization) must be bit-identical to the legacy
+// one-shot compressors in every observable — nullopt cases, winning scheme,
+// layout/encoding id, image size, image bytes, and tie-breaking (BDI beats
+// FPC at equal size; within BDI the earlier layout of the pinned size order
+// wins, as locked in by PR 2's exhaustive-scan test).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compression/best_of.hpp"
+#include "compression/word_scan.hpp"
+#include "workload/value_model.hpp"
+
+namespace pcmsim {
+namespace {
+
+Block block_of_u64(std::uint64_t base, unsigned delta_bits) {
+  Block b{};
+  for (std::size_t i = 0; i < kBlockBytes / 8; ++i) {
+    const std::uint64_t v = base + (delta_bits ? (i & ((1ull << delta_bits) - 1)) : 0);
+    std::memcpy(b.data() + i * 8, &v, 8);
+  }
+  return b;
+}
+
+/// Independent reference: the pre-refactor best-of rule composed from the
+/// (unchanged) legacy single-scheme compressors.
+std::optional<CompressedBlock> legacy_best(const BestOfCompressor& best, const Block& b) {
+  auto a = best.bdi().compress(b);
+  auto f = best.fpc().compress(b);
+  if (!a) return f;
+  if (!f) return a;
+  return a->size_bytes() <= f->size_bytes() ? a : f;
+}
+
+/// Asserts every phase-1 and phase-2 observable against the legacy reference.
+void expect_plan_equivalent(const BestOfCompressor& best, const Block& b, const char* what) {
+  const auto ref = legacy_best(best, b);
+  const auto plan = best.plan(b);
+  ASSERT_EQ(plan.has_value(), ref.has_value()) << what;
+
+  // Scan-level probes vs the legacy per-scheme walks.
+  const WordClassScan scan = scan_block(b);
+  EXPECT_EQ(BdiCompressor::probe_size(scan), best.bdi().probe_size(b)) << what;
+  EXPECT_EQ(FpcCompressor::probe_size(scan), best.fpc().probe_size(b)) << what;
+  for (int l = 0; l < 8; ++l) {
+    const auto layout = static_cast<BdiLayout>(l);
+    EXPECT_EQ((scan.bdi_applies >> l) & 1u, BdiCompressor::layout_applies(b, layout) ? 1u : 0u)
+        << what << " layout " << to_string(layout);
+  }
+  for (std::size_t i = 0; i < kBlockBytes / 4; ++i) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, b.data() + i * 4, 4);
+    EXPECT_EQ(scan.word_class[i], static_cast<std::uint8_t>(FpcCompressor::classify(w)))
+        << what << " word " << i;
+  }
+
+  if (!ref) return;
+  EXPECT_EQ(plan->scheme, ref->scheme) << what;
+  EXPECT_EQ(plan->encoding, ref->encoding) << what;
+  EXPECT_EQ(plan->size_bytes(), ref->size_bytes()) << what;
+
+  const CompressedBlock image = best.materialize(b, *plan);
+  EXPECT_EQ(image.scheme, ref->scheme) << what;
+  EXPECT_EQ(image.encoding, ref->encoding) << what;
+  EXPECT_EQ(image.bytes, ref->bytes) << what;
+  EXPECT_EQ(best.decompress(image), b) << what;
+
+  // compress() is now plan()+materialize(); it must still match the reference.
+  const auto combined = best.compress(b);
+  ASSERT_TRUE(combined.has_value()) << what;
+  EXPECT_EQ(combined->bytes, ref->bytes) << what;
+  EXPECT_EQ(combined->encoding, ref->encoding) << what;
+}
+
+TEST(CompressionPlan, AdversarialBlocks) {
+  BestOfCompressor best;
+  expect_plan_equivalent(best, zero_block(), "zeros");
+  expect_plan_equivalent(best, block_of_u64(0xDEADBEEFCAFEF00Dull, 0), "rep8");
+  expect_plan_equivalent(best, block_of_u64(0x7000'0000'0000'0000ull, 3), "b8d1");
+  expect_plan_equivalent(best, block_of_u64(0x1234'5678'0000'0000ull, 0), "rep8-split-halves");
+
+  // Only the late b2d1 BDI layout applies (PR 2's adversarial case).
+  Block late{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto v = static_cast<std::uint16_t>(0x0100 + (i % 3) * 0x30);
+    std::memcpy(late.data() + i * 2, &v, 2);
+  }
+  expect_plan_equivalent(best, late, "late-b2d1");
+
+  // The equal-size b2d1/b4d2 tie (both 38 bytes): the earlier layout must win
+  // in the plan exactly as in compress().
+  Block tie{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint16_t v = (i % 2 == 1) ? std::uint16_t{0x1234}
+                            : (i % 4 == 0) ? static_cast<std::uint16_t>(5 + i / 4)
+                                           : static_cast<std::uint16_t>(0x1234 + (i % 8));
+    std::memcpy(tie.data() + i * 2, &v, 2);
+  }
+  {
+    ASSERT_TRUE(BdiCompressor::layout_applies(tie, BdiLayout::kB2D1));
+    ASSERT_TRUE(BdiCompressor::layout_applies(tie, BdiLayout::kB4D2));
+    const auto plan = best.plan(tie);
+    ASSERT_TRUE(plan.has_value());
+    if (plan->scheme == CompressionScheme::kBdi) {
+      EXPECT_EQ(static_cast<BdiLayout>(plan->encoding), BdiLayout::kB2D1);
+    }
+  }
+  expect_plan_equivalent(best, tie, "b2d1-b4d2-tie");
+
+  // FPC zero-run boundaries: runs of exactly 8, 9, and 16 zero words, and a
+  // run interrupted mid-block.
+  for (const std::size_t zeros : {8u, 9u, 15u, 16u}) {
+    Block b{};
+    for (std::size_t i = zeros; i < kBlockBytes / 4; ++i) {
+      const std::uint32_t v = 0x0102'0304u + static_cast<std::uint32_t>(i) * 0x01010101u;
+      std::memcpy(b.data() + i * 4, &v, 4);
+    }
+    expect_plan_equivalent(best, b, "fpc-zero-run");
+  }
+
+  // Alternating halfword patterns (kHighHalfZeroPad / kTwoSignedBytes mix).
+  Block halves{};
+  for (std::size_t i = 0; i < kBlockBytes / 4; ++i) {
+    const std::uint32_t v = (i % 2 == 0) ? 0x7FFF'0000u : 0x0012'FF80u;
+    std::memcpy(halves.data() + i * 4, &v, 4);
+  }
+  expect_plan_equivalent(best, halves, "halfword-mix");
+
+  Rng rng(99);
+  Block incompressible{};
+  for (auto& byte : incompressible) byte = static_cast<std::uint8_t>(rng());
+  expect_plan_equivalent(best, incompressible, "incompressible");
+}
+
+TEST(CompressionPlan, RandomizedSweep) {
+  BestOfCompressor best;
+  Rng rng(0x9E3779B9u);
+  for (int iter = 0; iter < 3000; ++iter) {
+    Block b{};
+    if (iter % 4 == 0) {
+      for (auto& byte : b) byte = static_cast<std::uint8_t>(rng());
+    } else {
+      // Random base with random-width deltas in 2/4/8-byte granularity — the
+      // family that exercises every BDI layout and most FPC classes.
+      const std::size_t k = std::size_t{1} << (1 + rng.next_below(3));  // 2,4,8
+      const std::uint64_t base = rng();
+      const unsigned delta_bits = 1 + static_cast<unsigned>(rng.next_below(40));
+      for (std::size_t i = 0; i < kBlockBytes / k; ++i) {
+        const std::uint64_t v = base + (rng() & ((1ull << delta_bits) - 1));
+        std::memcpy(b.data() + i * k, &v, k);
+      }
+    }
+    expect_plan_equivalent(best, b, "random");
+  }
+}
+
+TEST(CompressionPlan, ValueModelCorpus) {
+  BestOfCompressor best;
+  const std::pair<ValueClass, std::uint8_t> cases[] = {
+      {ValueClass::kZeroPage, 4},    {ValueClass::kSmallInt, 4},
+      {ValueClass::kNarrowInt64, 7}, {ValueClass::kNarrowInt32, 3},
+      {ValueClass::kPointerHeap, 7}, {ValueClass::kFloatArray, 6},
+      {ValueClass::kFpcMixed, 8},    {ValueClass::kRandom, 1},
+  };
+  for (const auto& [cls, param_hi] : cases) {
+    ValueClassSpec spec;
+    spec.cls = cls;
+    spec.param_lo = 1;
+    spec.param_hi = param_hi;
+    spec.aux = 2;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      const Block b = generate_value(spec, i, 0xC0FFEEu + i / 7, i % 5);
+      expect_plan_equivalent(best, b, to_string(cls).data());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmsim
