@@ -1,0 +1,195 @@
+// Trace-generation microbenchmark: legacy TraceGenerator vs the batched
+// SampledTraceSource on the same workloads, plus v2 trace-file write/read
+// throughput. Emits machine-readable JSON (committed numbers live in
+// BENCH_tracegen.json).
+//
+// ROADMAP bottleneck context: at the PR-4 seed, trace generation was the
+// single largest stage of every lifetime run (~1.5 us/event, ~230M rdtsc
+// ticks per 150k events). The sampled source must cut kTraceGen to <= 1/4 of
+// the legacy ticks/event at --events 150000 — this bench measures exactly
+// that, per app and overall.
+//
+// `--expect_checksum N` exits non-zero when the deterministic work checksum
+// (a rolling hash over every produced event of both sources) deviates — CI
+// runs this so sampler/generator refactors that silently change the streams
+// fail loudly. The checksum is machine-independent but does depend on the
+// event count, so the gate pins --events too.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+#include "trace/file_source.hpp"
+#include "trace/sampled_source.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/trace_source.hpp"
+
+using namespace pcmsim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kApps[] = {"gcc", "milc", "lbm"};
+
+/// Rolling order-sensitive hash over an event stream; deterministic and
+/// machine-independent, so it doubles as the CI behaviour gate.
+std::uint64_t fold_event(std::uint64_t h, const WritebackEvent& ev) {
+  h = mix64(h ^ ev.line);
+  for (std::size_t w = 0; w < kBlockBytes; w += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, ev.data.data() + w, 8);
+    h = mix64(h ^ word);
+  }
+  return h;
+}
+
+struct SourceRun {
+  double ticks_per_event = 0;
+  double ns_per_event = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Drains `events` events in 256-entry batches with kTraceGen profiling on,
+/// returning per-event ticks (profiler) and wall ns.
+SourceRun run_source(TraceSource& source, std::size_t events) {
+  std::vector<WritebackEvent> batch(256);
+  SourceRun run;
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  prof::reset();
+  prof::set_enabled(true);
+  const auto t0 = Clock::now();
+  std::size_t done = 0;
+  while (done < events) {
+    const std::size_t want = std::min(batch.size(), events - done);
+    const std::size_t n = source.next_batch(std::span(batch.data(), want));
+    for (std::size_t i = 0; i < n; ++i) h = fold_event(h, batch[i]);
+    done += n;
+  }
+  const auto t1 = Clock::now();
+  prof::set_enabled(false);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  run.ticks_per_event = static_cast<double>(prof::stage_ticks(prof::Stage::kTraceGen)) /
+                        static_cast<double>(events);
+  run.ns_per_event = static_cast<double>(ns) / static_cast<double>(events);
+  run.checksum = h;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto events = static_cast<std::size_t>(args.get_int("events", 150000));
+  const auto lines = static_cast<std::uint64_t>(args.get_int("lines", 4096));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string path = args.get("out", "/tmp/pcmsim_tracegen.trace");
+  const auto expect_checksum = args.get_int("expect_checksum", -1);
+  const std::size_t per_app = events / std::size(kApps);
+
+  // --- Stage 1: legacy vs sampled generation, per app ----------------------
+  std::uint64_t checksum = 0;
+  double legacy_ticks = 0;
+  double sampled_ticks = 0;
+  double legacy_ns = 0;
+  double sampled_ns = 0;
+  std::cout << "{\n  \"events\": " << events << ",\n  \"apps\": {";
+  bool first = true;
+  for (const char* app_name : kApps) {
+    const AppProfile& app = profile_by_name(app_name);
+    GeneratorTraceSource legacy(app, lines, seed);
+    SampledTraceSource sampled(app, lines, seed);
+    const SourceRun lr = run_source(legacy, per_app);
+    const SourceRun sr = run_source(sampled, per_app);
+    legacy_ticks += lr.ticks_per_event;
+    sampled_ticks += sr.ticks_per_event;
+    legacy_ns += lr.ns_per_event;
+    sampled_ns += sr.ns_per_event;
+    checksum = mix64(checksum ^ lr.checksum ^ mix64(sr.checksum));
+    std::cout << (first ? "" : ",") << "\n    \"" << app_name << "\": {"
+              << "\"legacy_ticks_per_event\": " << lr.ticks_per_event
+              << ", \"sampled_ticks_per_event\": " << sr.ticks_per_event
+              << ", \"legacy_ns_per_event\": " << lr.ns_per_event
+              << ", \"sampled_ns_per_event\": " << sr.ns_per_event << "}";
+    first = false;
+  }
+  const double napps = static_cast<double>(std::size(kApps));
+  std::cout << "\n  },\n"
+            << "  \"legacy_ticks_per_event\": " << legacy_ticks / napps << ",\n"
+            << "  \"sampled_ticks_per_event\": " << sampled_ticks / napps << ",\n"
+            << "  \"tick_speedup\": "
+            << (sampled_ticks > 0 ? legacy_ticks / sampled_ticks : 0.0) << ",\n"
+            << "  \"legacy_ns_per_event\": " << legacy_ns / napps << ",\n"
+            << "  \"sampled_ns_per_event\": " << sampled_ns / napps << ",\n"
+            << "  \"ns_speedup\": " << (sampled_ns > 0 ? legacy_ns / sampled_ns : 0.0) << ",\n"
+            << "  \"profile_compiled\": " << (prof::kCompiled ? "true" : "false") << ",\n";
+
+  // --- Stage 2: v2 trace file write/read throughput ------------------------
+  // A sampled gcc stream: mostly compressible, the representative capture
+  // case. Throughput is event payload (72 B/record equivalent) over wall
+  // time; bytes_per_record reports the on-disk footprint after compression.
+  {
+    SampledTraceSource source(profile_by_name("gcc"), lines, seed);
+    std::vector<WritebackEvent> batch(256);
+    const auto w0 = Clock::now();
+    TraceFileWriter writer(path);
+    std::size_t done = 0;
+    while (done < events) {
+      const std::size_t n =
+          source.next_batch(std::span(batch.data(), std::min(batch.size(), events - done)));
+      for (std::size_t i = 0; i < n; ++i) writer.append(batch[i]);
+      done += n;
+    }
+    writer.close();
+    const auto w1 = Clock::now();
+
+    std::uint64_t file_checksum = 0x9E3779B97F4A7C15ull;
+    const auto r0 = Clock::now();
+    TraceFileReader reader(path);
+    WritebackEvent ev;
+    std::uint64_t read_back = 0;
+    while (reader.next(ev)) {
+      file_checksum = fold_event(file_checksum, ev);
+      ++read_back;
+    }
+    const auto r1 = Clock::now();
+    if (read_back != events) {
+      std::cerr << "v2 roundtrip lost records: wrote " << events << ", read " << read_back
+                << "\n";
+      return 1;
+    }
+    checksum = mix64(checksum ^ file_checksum);
+
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    const auto file_bytes = static_cast<double>(f.tellg());
+    f.close();
+    std::remove(path.c_str());
+    const auto wall = [](Clock::time_point a, Clock::time_point b) {
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count()) /
+             1e9;
+    };
+    const double payload_mb =
+        static_cast<double>(events) * (8 + kBlockBytes) / (1024.0 * 1024.0);
+    std::cout << "  \"v2_file_bytes_per_record\": "
+              << file_bytes / static_cast<double>(events) << ",\n"
+              << "  \"v2_write_mb_per_sec\": " << payload_mb / wall(w0, w1) << ",\n"
+              << "  \"v2_read_mb_per_sec\": " << payload_mb / wall(r0, r1) << ",\n";
+  }
+
+  const std::size_t gate = static_cast<std::size_t>(checksum & 0x7FFFFFFFull);
+  std::cout << "  \"checksum\": " << gate << "\n}\n";
+  if (expect_checksum >= 0 && static_cast<std::size_t>(expect_checksum) != gate) {
+    std::cerr << "checksum mismatch: expected " << expect_checksum << ", got " << gate
+              << " — trace source or file-format behaviour changed\n";
+    return 1;
+  }
+  return 0;
+}

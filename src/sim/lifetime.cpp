@@ -1,21 +1,45 @@
 #include "sim/lifetime.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "common/assert.hpp"
+#include "trace/trace_source.hpp"
 
 namespace pcmsim {
 
-LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
-                            std::uint64_t trace_seed) {
-  PcmSystem system(config.system);
-  TraceGenerator gen(app, system.logical_lines(), trace_seed);
+namespace {
+
+/// Core loop shared by every source kind: drain `source` in batches into the
+/// system until 50% of lines are dead, the write cap is hit, or a finite
+/// trace runs dry. Batching amortizes the source's virtual call and profiler
+/// scope; event generation is independent of system state, so pre-generating
+/// a batch leaves the serviced write sequence identical to one-at-a-time.
+LifetimeResult run_lifetime_on(PcmSystem& system, TraceSource& source,
+                               const LifetimeConfig& config) {
+  const std::uint64_t logical_lines = system.logical_lines();
+  std::array<WritebackEvent, 256> batch;
 
   LifetimeResult result;
-  while (system.stats().writes < config.max_writes) {
-    const WritebackEvent ev = gen.next();
-    (void)system.write(ev.line, ev.data);
-    if (system.stats().writes % config.check_interval == 0 && system.failed()) {
-      result.reached_failure = true;
+  bool exhausted = false;
+  while (!result.reached_failure && !exhausted && system.stats().writes < config.max_writes) {
+    const std::uint64_t remaining = config.max_writes - system.stats().writes;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch.size(), remaining));
+    const std::size_t n = source.next_batch(std::span(batch.data(), want));
+    if (n == 0) {
+      exhausted = true;  // finite trace ran dry before failure/cap
       break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Folding keeps replayed captures valid on regions smaller than the one
+      // they were recorded against; for synthetic sources the line is already
+      // in range and the modulo is the identity.
+      (void)system.write(batch[i].line % logical_lines, batch[i].data);
+      if (system.stats().writes % config.check_interval == 0 && system.failed()) {
+        result.reached_failure = true;
+        break;
+      }
     }
   }
   // The polled check can miss a failure that lands between the last interval
@@ -35,6 +59,20 @@ LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
   result.energy_pj_per_write =
       st.writes > 0 ? system.array().write_energy_pj() / static_cast<double>(st.writes) : 0.0;
   return result;
+}
+
+}  // namespace
+
+LifetimeResult run_lifetime(TraceSource& source, const LifetimeConfig& config) {
+  PcmSystem system(config.system);
+  return run_lifetime_on(system, source, config);
+}
+
+LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
+                            std::uint64_t trace_seed) {
+  PcmSystem system(config.system);
+  GeneratorTraceSource source(app, system.logical_lines(), trace_seed);
+  return run_lifetime_on(system, source, config);
 }
 
 double lifetime_months(const LifetimeResult& result, const LifetimeConfig& config,

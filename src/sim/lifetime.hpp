@@ -37,9 +37,20 @@ struct LifetimeResult {
   double energy_pj_per_write = 0.0;
 };
 
+class TraceSource;
+
 /// Runs one workload on one system configuration to end of life.
+/// Drives the system with the legacy TraceGenerator stream (via
+/// GeneratorTraceSource), so results are bit-identical to the original
+/// per-event loop — the figure benches pin this.
 [[nodiscard]] LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
                                           std::uint64_t trace_seed);
+
+/// Same simulation driven by an arbitrary source (sampled, file replay,
+/// looped replay). A finite source that runs dry before failure reports
+/// reached_failure = false with the writes it managed to service. Replayed
+/// line addresses are folded onto the configured region with a modulo.
+[[nodiscard]] LifetimeResult run_lifetime(TraceSource& source, const LifetimeConfig& config);
 
 /// Parameters converting simulated writes-to-failure into physical months.
 struct MonthsModel {

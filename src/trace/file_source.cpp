@@ -1,0 +1,104 @@
+#include "trace/file_source.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+std::uint64_t trace_file_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  expects(in.good(), "cannot open trace file for reading");
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), 8);
+  return in.good() ? magic : 0;
+}
+
+FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
+  const std::uint64_t magic = trace_file_magic(path);
+  if (magic == kTraceV2Magic) {
+    v2_.emplace(path_);
+    total_records_ = v2_->total_records();
+  } else if (magic == kTraceV1Magic) {
+    v1_.emplace(path_);
+    total_records_ = v1_->count();
+  } else {
+    expects(false, "unrecognized trace file magic (neither v1 nor v2)");
+  }
+}
+
+std::size_t FileTraceSource::next_batch(std::span<WritebackEvent> out) {
+  std::size_t n = 0;
+  if (v2_) {
+    while (n < out.size() && v2_->next(out[n])) ++n;
+  } else {
+    while (n < out.size()) {
+      const auto ev = v1_->next();
+      if (!ev) break;
+      out[n++] = *ev;
+    }
+  }
+  events_ += n;
+  return n;
+}
+
+void FileTraceSource::reset() {
+  if (v2_) {
+    v2_->reset();
+  } else {
+    v1_.emplace(path_);  // v1 reader has no rewind; reopen
+  }
+  events_ = 0;
+}
+
+LoopedFileTraceSource::LoopedFileTraceSource(const std::string& path) : file_(path) {
+  expects(file_.total_records() > 0, "cannot loop an empty trace file");
+}
+
+void LoopedFileTraceSource::reversion(WritebackEvent& ev) const {
+  // Deterministic per-(line, pass) mutation: flip the low byte of 1-4 nonzero
+  // 32-bit words. Skipping zero words keeps the block's zero structure (and
+  // compressibility class) intact; all-zero blocks pass through unchanged.
+  const std::uint64_t h = mix64(ev.line ^ (pass_ * 0x9E3779B97F4A7C15ull));
+  const unsigned k = 1 + static_cast<unsigned>(h & 3);
+  for (unsigned i = 0; i < k; ++i) {
+    const std::size_t w = static_cast<std::size_t>((h >> (8 + i * 6)) & 15u);
+    std::uint32_t word = 0;
+    std::memcpy(&word, ev.data.data() + w * 4, 4);
+    if (word == 0) continue;
+    const auto flip = static_cast<std::uint8_t>(1u + ((h >> (40 + i * 5)) & 0x7Fu));
+    word ^= flip;
+    // XOR with a nonzero byte can only zero the word if the word equalled
+    // `flip`; re-flip a higher bit instead so nonzero words stay nonzero.
+    if (word == 0) word = static_cast<std::uint32_t>(flip) << 8;
+    std::memcpy(ev.data.data() + w * 4, &word, 4);
+  }
+}
+
+std::size_t LoopedFileTraceSource::next_batch(std::span<WritebackEvent> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t n = file_.next_batch(out.subspan(done));
+    if (n == 0) {
+      file_.reset();
+      ++pass_;
+      continue;
+    }
+    if (pass_ > 0) {
+      for (std::size_t i = done; i < done + n; ++i) reversion(out[i]);
+    }
+    done += n;
+  }
+  events_ += out.size();
+  return out.size();
+}
+
+void LoopedFileTraceSource::reset() {
+  file_.reset();
+  pass_ = 0;
+  events_ = 0;
+}
+
+}  // namespace pcmsim

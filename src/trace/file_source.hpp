@@ -1,0 +1,74 @@
+// Replay of on-disk trace captures through the TraceSource interface.
+//
+// FileTraceSource auto-detects the container by magic: legacy v1
+// ("PCMTRACE", fixed 72-byte records) or chunked v2 ("PCMTRC2\0",
+// trace_file.hpp). Both replay the identical event stream a capture recorded.
+//
+// LoopedFileTraceSource makes a finite capture drive an unbounded lifetime
+// run. Replaying a recorded trace verbatim a second time is degenerate under
+// differential writes — every rewrite stores the identical value and flips
+// zero cells — so each pass >= 1 re-versions the values: a deterministic
+// per-(line, pass) mutation flips the low byte of a few nonzero data words.
+// Zero words are never touched, which preserves each block's zero structure
+// (and hence its compressibility class); all-zero blocks therefore replay
+// unchanged by design.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/trace_file.hpp"
+#include "trace/trace_source.hpp"
+
+namespace pcmsim {
+
+/// Reads the leading 8-byte magic of `path` (0 if the file is too short).
+[[nodiscard]] std::uint64_t trace_file_magic(const std::string& path);
+
+/// Finite replay of a v1 or v2 trace file. next_batch() underfills at end of
+/// trace and returns 0 thereafter; reset() rewinds to the first record.
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path);
+  FileTraceSource(const FileTraceSource&) = delete;
+  FileTraceSource& operator=(const FileTraceSource&) = delete;
+
+  std::size_t next_batch(std::span<WritebackEvent> out) override;
+  [[nodiscard]] std::uint64_t events() const override { return events_; }
+  void reset() override;
+
+  /// Records stored in the file (one full pass).
+  [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
+
+ private:
+  std::string path_;
+  std::optional<TraceReader> v1_;       // exactly one of v1_/v2_ is engaged
+  std::optional<TraceFileReader> v2_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Unbounded replay: cycles the file, re-versioning values on every pass
+/// after the first so rewrites keep flipping cells (see file header).
+class LoopedFileTraceSource final : public TraceSource {
+ public:
+  explicit LoopedFileTraceSource(const std::string& path);
+  LoopedFileTraceSource(const LoopedFileTraceSource&) = delete;
+  LoopedFileTraceSource& operator=(const LoopedFileTraceSource&) = delete;
+
+  std::size_t next_batch(std::span<WritebackEvent> out) override;
+  [[nodiscard]] std::uint64_t events() const override { return events_; }
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t pass() const { return pass_; }
+  [[nodiscard]] std::uint64_t records_per_pass() const { return file_.total_records(); }
+
+ private:
+  void reversion(WritebackEvent& ev) const;
+
+  FileTraceSource file_;
+  std::uint64_t pass_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace pcmsim

@@ -1,0 +1,76 @@
+// Unified write-back stream abstraction for the trace subsystem.
+//
+// The paper's methodology is trace-driven: "we collect traces of main memory
+// accesses in Gem5, which are then fed to a lightweight memory simulator".
+// TraceSource is the simulator-facing seam for every way such a stream can be
+// produced:
+//   * GeneratorTraceSource — the original per-event TraceGenerator behind the
+//     batch interface; figure benches keep it so their stdout stays pinned
+//     bit-for-bit (fig09/table4 gates).
+//   * SampledTraceSource (sampled_source.hpp) — the batched flat-state
+//     sampler, statistically calibrated against the generator and ~4x+
+//     cheaper per event.
+//   * FileTraceSource / LoopedFileTraceSource (file_source.hpp) — replay of
+//     on-disk captures (v1 or chunked v2).
+//
+// Sources produce events in batches (next_batch) so per-event virtual-call
+// and profiler overhead amortizes across a span.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "workload/app_profile.hpp"
+#include "workload/trace.hpp"
+
+namespace pcmsim {
+
+/// Polymorphic write-back stream. Batch-oriented: callers hand in a span and
+/// get back how many leading entries were filled.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Fills up to out.size() events; returns the count filled. A return of 0
+  /// means the source is exhausted (finite traces only — synthetic samplers
+  /// and looped replays always fill the whole span).
+  virtual std::size_t next_batch(std::span<WritebackEvent> out) = 0;
+
+  /// Total events produced since construction (or the last reset()).
+  [[nodiscard]] virtual std::uint64_t events() const = 0;
+
+  /// Rewinds the source to its initial state (re-seeds samplers, reopens
+  /// files); the stream after reset() is identical to a fresh instance.
+  virtual void reset() = 0;
+};
+
+/// The legacy per-event TraceGenerator behind the TraceSource interface.
+/// Event content and ordering are bit-identical to calling
+/// TraceGenerator::next() in a loop, which is what keeps the figure benches'
+/// pinned outputs (fig09/table4, writepath checksum) unchanged.
+class GeneratorTraceSource final : public TraceSource {
+ public:
+  GeneratorTraceSource(const AppProfile& app, std::uint64_t region_lines, std::uint64_t seed)
+      : app_(app), region_lines_(region_lines), seed_(seed) {
+    gen_.emplace(app_, region_lines_, seed_);
+  }
+
+  std::size_t next_batch(std::span<WritebackEvent> out) override {
+    for (auto& ev : out) ev = gen_->next();
+    return out.size();
+  }
+
+  [[nodiscard]] std::uint64_t events() const override { return gen_->events(); }
+
+  void reset() override { gen_.emplace(app_, region_lines_, seed_); }
+
+  [[nodiscard]] const TraceGenerator& generator() const { return *gen_; }
+
+ private:
+  AppProfile app_;  // owned copy: reset() re-constructs the generator from it
+  std::uint64_t region_lines_;
+  std::uint64_t seed_;
+  std::optional<TraceGenerator> gen_;  // optional: emplace() implements reset()
+};
+
+}  // namespace pcmsim

@@ -6,7 +6,9 @@
 namespace pcmsim {
 
 namespace {
-constexpr std::uint64_t kTraceMagic = 0x50434d5452414345ull;  // "PCMTRACE"
+/// v1 record: 8-byte line address + 64 payload bytes, packed.
+constexpr std::uint64_t kV1RecordBytes = 8 + kBlockBytes;
+constexpr std::uint64_t kV1HeaderBytes = 16;
 }
 
 TraceGenerator::TraceGenerator(const AppProfile& app, std::uint64_t region_lines,
@@ -21,9 +23,7 @@ TraceGenerator::TraceGenerator(const AppProfile& app, std::uint64_t region_lines
 }
 
 LineAddr TraceGenerator::fold(std::uint64_t rank) const {
-  // Stable pseudo-random rank->line map; decouples Zipf popularity rank from
-  // spatial position and from the hash that assigns value classes.
-  return mix64(rank ^ (seed_ * 0x2545F4914F6CDD1Dull)) % region_lines_;
+  return fold_rank(rank, seed_, region_lines_);
 }
 
 const ValueClassSpec& TraceGenerator::class_of(LineAddr line) const {
@@ -37,13 +37,14 @@ WritebackEvent TraceGenerator::next() {
   auto [it, fresh] = states_.try_emplace(line);
   auto& st = it->second;
   if (fresh) {
-    st.shape = static_cast<std::uint32_t>(mix64(line ^ seed_ ^ 0xBEEFull));
+    st.shape = initial_line_shape(line, seed_);
     st.version = 0;
   } else {
     ++st.version;
     if (rng_.next_bool(app_.shape_redraw_prob)) {
       st.shape = static_cast<std::uint32_t>(rng_());
       st.version = 0;
+      ++shape_redraws_;
     }
   }
   ++events_;
@@ -59,7 +60,7 @@ Block TraceGenerator::current_value(LineAddr line) const {
 TraceWriter::TraceWriter(const std::string& path) : out_(path, std::ios::binary) {
   expects(out_.good(), "cannot open trace file for writing");
   const std::uint64_t zero = 0;
-  out_.write(reinterpret_cast<const char*>(&kTraceMagic), 8);
+  out_.write(reinterpret_cast<const char*>(&kTraceV1Magic), 8);
   out_.write(reinterpret_cast<const char*>(&zero), 8);  // patched in close()
 }
 
@@ -76,12 +77,16 @@ void TraceWriter::append(const WritebackEvent& ev) {
   out_.write(reinterpret_cast<const char*>(&ev.line), 8);
   out_.write(reinterpret_cast<const char*>(ev.data.data()),
              static_cast<std::streamsize>(ev.data.size()));
+  // A full stream buffer flushes inside write(); surface disk-full/IO errors
+  // here instead of silently "succeeding" and producing a short file.
+  expects(out_.good(), "trace file write failed (disk full or I/O error)");
   ++count_;
 }
 
 void TraceWriter::close() {
   if (closed_) return;
   closed_ = true;
+  expects(out_.good(), "trace file stream failed before close");
   out_.seekp(8);
   out_.write(reinterpret_cast<const char*>(&count_), 8);
   out_.close();
@@ -90,10 +95,20 @@ void TraceWriter::close() {
 
 TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
   expects(in_.good(), "cannot open trace file for reading");
+  in_.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0);
+  expects(file_bytes >= kV1HeaderBytes, "trace file truncated (no v1 header)");
   std::uint64_t magic = 0;
   in_.read(reinterpret_cast<char*>(&magic), 8);
-  expects(magic == kTraceMagic, "not a pcmsim trace file");
+  expects(magic == kTraceV1Magic, "not a pcmsim v1 trace file");
   in_.read(reinterpret_cast<char*>(&count_), 8);
+  expects(in_.good(), "trace file truncated (short v1 header)");
+  // The header's declared record count must match the bytes actually present;
+  // a mismatch means the file was truncated (or its count corrupted), and
+  // must not read as a silently-shorter trace.
+  expects(file_bytes == kV1HeaderBytes + count_ * kV1RecordBytes,
+          "v1 trace length does not match declared record count");
 }
 
 std::optional<WritebackEvent> TraceReader::next() {

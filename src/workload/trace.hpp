@@ -25,11 +25,30 @@
 
 namespace pcmsim {
 
+/// v1 trace file magic ("PCMTRACE"); the v2 chunked format lives in
+/// src/trace/trace_file.hpp and uses a distinct magic, so readers can
+/// distinguish the two (trace/file_source.hpp auto-detects).
+inline constexpr std::uint64_t kTraceV1Magic = 0x50434d5452414345ull;
+
 /// One LLC write-back: a line address and the full 64-byte value written.
 struct WritebackEvent {
   LineAddr line = 0;
   Block data{};
 };
+
+/// Stable pseudo-random rank->line map shared by every trace source;
+/// decouples Zipf popularity rank from spatial position and from the hash
+/// that assigns value classes. SampledTraceSource must agree with
+/// TraceGenerator here so both drive the same per-line class/value model.
+[[nodiscard]] inline LineAddr fold_rank(std::uint64_t rank, std::uint64_t seed,
+                                        std::uint64_t region_lines) {
+  return mix64(rank ^ (seed * 0x2545F4914F6CDD1Dull)) % region_lines;
+}
+
+/// First-touch shape of a line, shared by every trace source (see fold_rank).
+[[nodiscard]] inline std::uint32_t initial_line_shape(LineAddr line, std::uint64_t seed) {
+  return static_cast<std::uint32_t>(mix64(line ^ seed ^ 0xBEEFull));
+}
 
 class TraceGenerator {
  public:
@@ -53,6 +72,9 @@ class TraceGenerator {
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] std::uint64_t region_lines() const { return region_lines_; }
   [[nodiscard]] const AppProfile& app() const { return app_; }
+  /// Calibration introspection (compared against SampledTraceSource).
+  [[nodiscard]] std::uint64_t shape_redraws() const { return shape_redraws_; }
+  [[nodiscard]] std::uint64_t touched_lines() const { return states_.size(); }
 
  private:
   struct LineState {
@@ -70,6 +92,7 @@ class TraceGenerator {
   ClassAssigner classes_;
   std::unordered_map<LineAddr, LineState> states_;
   std::uint64_t events_ = 0;
+  std::uint64_t shape_redraws_ = 0;
 };
 
 /// Binary trace file: 16-byte header (magic + count) then packed records.

@@ -48,55 +48,46 @@ std::string_view to_string(ValueClass c) {
   return "?";
 }
 
-Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32_t shape,
-                     std::uint32_t version) {
-  const std::uint64_t seed0 = h(line, shape, static_cast<std::uint64_t>(spec.cls));
-  const std::uint8_t param = draw_param(spec, seed0);
+ValueGenContext make_gen_context(const ValueClassSpec& spec, std::uint64_t line,
+                                 std::uint32_t shape) {
+  ValueGenContext ctx;
+  ctx.seed0 = h(line, shape, static_cast<std::uint64_t>(spec.cls));
+  ctx.param = draw_param(spec, ctx.seed0);
   switch (spec.cls) {
     case ValueClass::kSmallInt:
-      expects(param >= 1 && param <= 4, "kSmallInt param must be 1..4 nibbles");
+      expects(ctx.param >= 1 && ctx.param <= 4, "kSmallInt param must be 1..4 nibbles");
       break;
     case ValueClass::kNarrowInt64:
     case ValueClass::kPointerHeap:
     case ValueClass::kFloatArray:
-      expects(param >= 1 && param <= 7, "64-bit class param must be 1..7 bytes");
+      expects(ctx.param >= 1 && ctx.param <= 7, "64-bit class param must be 1..7 bytes");
       break;
     case ValueClass::kNarrowInt32:
-      expects(param >= 1 && param <= 3, "kNarrowInt32 param must be 1..3 bytes");
+      expects(ctx.param >= 1 && ctx.param <= 3, "kNarrowInt32 param must be 1..3 bytes");
       break;
     case ValueClass::kFpcMixed:
-      expects(param <= 16 && spec.aux <= 16, "kFpcMixed composition exceeds 16 words");
+      expects(ctx.param <= 16 && spec.aux <= 16, "kFpcMixed composition exceeds 16 words");
       break;
     default:
       break;
   }
-  Block b{};
+  return ctx;
+}
 
-  // ---- Base content (a pure function of the shape) -------------------------
+void generate_static_base(const ValueClassSpec& spec, const ValueGenContext& ctx, Block& b) {
+  const std::uint64_t seed0 = ctx.seed0;
+  const std::uint8_t param = ctx.param;
   switch (spec.cls) {
     case ValueClass::kZeroPage: {
-      // `param` non-zero small words at hashed positions; rest zero. A small
-      // cluster of sign16-range values "moves" across the block on rewrites
-      // (sparse-structure updates): zeroing its old position collapses into a
-      // zero-run token, which is how compression *reduces* flips on
-      // zero-dominated data (Fig 5's "decreased" bars for high-CR apps).
-      // Values are signed small integers: in two's complement a sign change
-      // flips ~29 raw bits but only ~2 bits of the sign-extended FPC token —
-      // the redundancy that makes compression cut flips on this data.
+      // `param` non-zero small words at hashed positions; rest zero. Values
+      // are signed small integers: in two's complement a sign change flips
+      // ~29 raw bits but only ~2 bits of the sign-extended FPC token — the
+      // redundancy that makes compression cut flips on this data. (The moving
+      // value cluster is version-dependent and lives in apply_dynamic.)
       for (std::uint8_t i = 0; i < param; ++i) {
         const std::size_t slot = h(seed0, 0x11, i) % kWords32;
         const auto m = static_cast<std::int32_t>(h(seed0, 0x12, i) % 15 + 1);
         put32(b, slot, static_cast<std::uint32_t>((h(seed0, 0x13, i) & 1) ? -m : m));
-      }
-      const std::size_t g = 1 + h(seed0, 0xA3) % 2;  // cluster size, fixed per shape
-      // The cluster relocates every ~8 rewrites (values refresh every time),
-      // so compressed sizes stay stable between moves (Fig 6's low values for
-      // zero-dominated apps) while moves still exercise zero-run absorption.
-      const std::size_t start = h(seed0, 0xA1, version / 8) % (kWords32 - g);
-      for (std::size_t i = 0; i < g; ++i) {
-        const auto m = static_cast<std::int32_t>(h(seed0, 0xA2, version, i) % 30000 + 1);
-        put32(b, start + i,
-              static_cast<std::uint32_t>((h(seed0, 0xA4, version, i) & 1) ? -m : m));
       }
       break;
     }
@@ -178,8 +169,37 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
       break;
     }
   }
+}
 
-  if (version == 0) return b;
+std::uint16_t apply_dynamic(const ValueClassSpec& spec, const ValueGenContext& ctx,
+                            std::uint64_t line, std::uint32_t shape, std::uint32_t version,
+                            Block& b) {
+  const std::uint64_t seed0 = ctx.seed0;
+  const std::uint8_t param = ctx.param;
+  std::uint16_t touched = 0;
+  const auto mark32 = [&touched](std::size_t slot) {
+    touched = static_cast<std::uint16_t>(touched | (1u << slot));
+  };
+
+  if (spec.cls == ValueClass::kZeroPage) {
+    // A small cluster of sign16-range values "moves" across the block on
+    // rewrites (sparse-structure updates): zeroing its old position collapses
+    // into a zero-run token, which is how compression *reduces* flips on
+    // zero-dominated data (Fig 5's "decreased" bars for high-CR apps).
+    const std::size_t g = 1 + h(seed0, 0xA3) % 2;  // cluster size, fixed per shape
+    // The cluster relocates every ~8 rewrites (values refresh every time),
+    // so compressed sizes stay stable between moves (Fig 6's low values for
+    // zero-dominated apps) while moves still exercise zero-run absorption.
+    const std::size_t start = h(seed0, 0xA1, version / 8) % (kWords32 - g);
+    for (std::size_t i = 0; i < g; ++i) {
+      const auto m = static_cast<std::int32_t>(h(seed0, 0xA2, version, i) % 30000 + 1);
+      put32(b, start + i,
+            static_cast<std::uint32_t>((h(seed0, 0xA4, version, i) & 1) ? -m : m));
+      mark32(start + i);
+    }
+  }
+
+  if (version == 0) return touched;
 
   // ---- Rewrite dynamics -----------------------------------------------------
   // A version-dependent set of word slots is overwritten with fresh values of
@@ -205,11 +225,13 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
         const std::size_t nz = h(seed0, 0x11, j % param) % kWords32;
         const auto m = static_cast<std::int32_t>(hv % 15 + 1);
         put32(b, nz, static_cast<std::uint32_t>((hv >> 40 & 1) ? -m : m));
+        mark32(nz);
         break;
       }
       case ValueClass::kSmallInt: {
         const unsigned bits = static_cast<unsigned>(param) * 4;
         put32(b, slot, static_cast<std::uint32_t>(hv & ((1u << (bits - 1)) - 1)));
+        mark32(slot);
         break;
       }
       case ValueClass::kNarrowInt64:
@@ -226,6 +248,8 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
         const unsigned low_bits = static_cast<unsigned>(param) * 8 - 1;
         cur = (cur & ~((1ull << low_bits) - 1)) | (hv & ((1ull << low_bits) - 1));
         put64(b, w64, cur);
+        mark32(w64 * 2);
+        mark32(w64 * 2 + 1);
         break;
       }
       case ValueClass::kNarrowInt32: {
@@ -235,6 +259,7 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
         cur = (cur & ~((1u << low_bits) - 1)) |
               static_cast<std::uint32_t>(hv & ((1ull << low_bits) - 1));
         put32(b, slot, cur);
+        mark32(slot);
         break;
       }
       case ValueClass::kFpcMixed: {
@@ -254,6 +279,7 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
           } else {
             put32(b, slot, static_cast<std::uint32_t>(hv % 100));  // raw -> small
           }
+          mark32(slot);
           break;
         }
         if (cur == 0) break;
@@ -262,13 +288,24 @@ Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32
         } else {
           put32(b, slot, raw);
         }
+        mark32(slot);
         break;
       }
       case ValueClass::kRandom:
         put32(b, slot, static_cast<std::uint32_t>(hv));
+        mark32(slot);
         break;
     }
   }
+  return touched;
+}
+
+Block generate_value(const ValueClassSpec& spec, std::uint64_t line, std::uint32_t shape,
+                     std::uint32_t version) {
+  const ValueGenContext ctx = make_gen_context(spec, line, shape);
+  Block b{};
+  generate_static_base(spec, ctx, b);
+  (void)apply_dynamic(spec, ctx, line, shape, version, b);
   return b;
 }
 

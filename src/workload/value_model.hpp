@@ -57,4 +57,40 @@ struct ValueClassSpec {
 [[nodiscard]] Block generate_value(const ValueClassSpec& spec, std::uint64_t line,
                                    std::uint32_t shape, std::uint32_t version);
 
+// ---- Incremental generation (trace/SampledTraceSource fast path) -----------
+//
+// generate_value decomposes into a *static base* (a pure function of
+// (line, shape) — the expensive part, up to ~16 hashed word writes) plus a
+// *dynamic* overlay (the version's mutations, and kZeroPage's moving value
+// cluster — a handful of word writes). A caller that caches the static base
+// per line can advance a value one version by reverting the previous
+// version's dynamic words to the base and applying the new version's overlay,
+// skipping the base resynthesis entirely. The composition is bit-identical:
+//   generate_value(spec, line, shape, v)
+//     == static base, then apply_dynamic(v) on top.
+
+/// Derived per-(line, shape) generation inputs, computable once per shape
+/// redraw and reusable across versions.
+struct ValueGenContext {
+  std::uint64_t seed0 = 0;  ///< content hash seed for (line, shape, class)
+  std::uint8_t param = 1;   ///< shape parameter drawn in [param_lo, param_hi]
+};
+
+/// Computes (and validates) the generation context of (line, shape).
+[[nodiscard]] ValueGenContext make_gen_context(const ValueClassSpec& spec, std::uint64_t line,
+                                               std::uint32_t shape);
+
+/// Writes the version-independent content of (line, shape) into `b`, which
+/// must be all-zero on entry.
+void generate_static_base(const ValueClassSpec& spec, const ValueGenContext& ctx, Block& b);
+
+/// Applies the version-dependent content (kZeroPage value cluster at every
+/// version; per-version word mutations for version >= 1) on top of the static
+/// base. Precondition: every word previously written by apply_dynamic has
+/// been reverted to the static base. Returns a bitmask (bit i = 4-byte word
+/// i) of the words written, so incremental callers can revert them later.
+[[nodiscard]] std::uint16_t apply_dynamic(const ValueClassSpec& spec, const ValueGenContext& ctx,
+                                          std::uint64_t line, std::uint32_t shape,
+                                          std::uint32_t version, Block& b);
+
 }  // namespace pcmsim
