@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/simd.hpp"
 #include "compression/bdi.hpp"
 #include "compression/fpc.hpp"
 
@@ -9,36 +10,24 @@ namespace pcmsim {
 
 namespace {
 
-/// True when `v` survives truncation to `bytes` bytes and sign extension
-/// (same contract as the BDI compressor's internal helper).
-bool fits_signed(std::int64_t v, unsigned bytes) {
-  const std::int64_t lo = -(1ll << (bytes * 8 - 1));
-  const std::int64_t hi = (1ll << (bytes * 8 - 1)) - 1;
-  return v >= lo && v <= hi;
-}
-
-/// Streaming replica of BdiCompressor::layout_applies for one base/delta
-/// geometry: the explicit base is the first word whose own value does not fit
-/// the zero base, and every later oversized word must sit within delta reach
-/// of it. Feeding words in block order is exactly the legacy per-layout walk.
-struct GeomState {
-  bool ok = true;
-  bool have_base = false;
-  std::int64_t base = 0;
-
-  void feed(std::int64_t word, unsigned delta_bytes) {
-    if (!ok || fits_signed(word, delta_bytes)) return;
-    if (!have_base) {
-      have_base = true;
-      base = word;  // the base's own delta is 0
-      return;
-    }
-    if (!fits_signed(word - base, delta_bytes)) ok = false;
-  }
-};
+// The SIMD kernel reports FPC classes and BDI geometries with plain integer
+// ids; pin them to the domain enums here, where the two vocabularies meet.
+static_assert(static_cast<std::uint8_t>(FpcPattern::kZeroRun) == 0);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kSign4) == 1);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kSign8) == 2);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kSign16) == 3);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kHighHalfZeroPad) == 4);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kTwoSignedBytes) == 5);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kRepeatedByte) == 6);
+static_assert(static_cast<std::uint8_t>(FpcPattern::kUncompressed) == 7);
+static_assert(sizeof(WordClassScan{}.word_class) == sizeof(simd::BlockScan{}.word_class));
 
 constexpr std::uint8_t layout_bit(BdiLayout layout) {
   return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(layout));
+}
+
+constexpr std::uint8_t geom_bit(const simd::BlockScan& k, unsigned geom, BdiLayout layout) {
+  return (k.geom_ok >> geom) & 1u ? layout_bit(layout) : std::uint8_t{0};
 }
 
 }  // namespace
@@ -48,15 +37,12 @@ WordClassScan scan_block(const Block& block) {
   std::array<std::uint64_t, kBlockBytes / 8> w;
   std::memcpy(w.data(), block.data(), kBlockBytes);
 
-  std::uint64_t acc = 0;
-  bool rep = true;
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    acc |= w[i];
-    rep = rep && w[i] == w[0];
-  }
-  s.all_zero = acc == 0;
-  s.rep8 = rep;
-  if (s.all_zero) {
+  simd::BlockScan k;
+  simd::active::scan_words(w.data(), k);
+
+  s.all_zero = k.all_zero;
+  s.rep8 = k.rep8;
+  if (k.all_zero) {
     // word_class is already all kZeroRun (= 0); 16 zero words fold into two
     // 8-word runs of 3+3 bits, and a zero delta fits every geometry.
     s.fpc_bits = 12;
@@ -64,47 +50,16 @@ WordClassScan scan_block(const Block& block) {
     return s;
   }
 
-  GeomState b8d1;
-  GeomState b8d2;
-  GeomState b8d4;
-  GeomState b4d1;
-  GeomState b4d2;
-  GeomState b2d1;
-  std::uint32_t bits = 0;
-  unsigned run = 0;  // current zero-run length, 0 = not in a run
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    const std::int64_t sw = static_cast<std::int64_t>(w[i]);
-    b8d1.feed(sw, 1);
-    b8d2.feed(sw, 2);
-    b8d4.feed(sw, 4);
-    for (std::size_t h = 0; h < 2; ++h) {
-      const auto u32 = static_cast<std::uint32_t>(w[i] >> (32 * h));
-      const auto s32 = static_cast<std::int64_t>(static_cast<std::int32_t>(u32));
-      b4d1.feed(s32, 1);
-      b4d2.feed(s32, 2);
-      for (std::size_t q = 0; q < 2; ++q) {
-        const auto u16 = static_cast<std::uint16_t>(u32 >> (16 * q));
-        b2d1.feed(static_cast<std::int64_t>(static_cast<std::int16_t>(u16)), 1);
-      }
-      // FPC: classify the u32 word, folding zero runs exactly like the legacy
-      // probe (6 bits per run, runs capped at 8 words).
-      const FpcPattern p = FpcCompressor::classify(u32);
-      s.word_class[2 * i + h] = static_cast<std::uint8_t>(p);
-      if (p == FpcPattern::kZeroRun) {
-        if (run == 0) bits += 3 + 3;
-        if (++run == 8) run = 0;
-      } else {
-        run = 0;
-        bits += 3 + FpcCompressor::payload_bits(p);
-      }
-    }
-  }
-  s.fpc_bits = bits;
+  std::memcpy(s.word_class.data(), k.word_class.data(), k.word_class.size());
+  s.fpc_bits = k.fpc_bits;
   s.bdi_applies = static_cast<std::uint8_t>(
-      (rep ? layout_bit(BdiLayout::kRep8) : 0) | (b8d1.ok ? layout_bit(BdiLayout::kB8D1) : 0) |
-      (b8d2.ok ? layout_bit(BdiLayout::kB8D2) : 0) | (b8d4.ok ? layout_bit(BdiLayout::kB8D4) : 0) |
-      (b4d1.ok ? layout_bit(BdiLayout::kB4D1) : 0) | (b4d2.ok ? layout_bit(BdiLayout::kB4D2) : 0) |
-      (b2d1.ok ? layout_bit(BdiLayout::kB2D1) : 0));
+      (k.rep8 ? layout_bit(BdiLayout::kRep8) : 0) |
+      geom_bit(k, simd::kGeomB8D1, BdiLayout::kB8D1) |
+      geom_bit(k, simd::kGeomB8D2, BdiLayout::kB8D2) |
+      geom_bit(k, simd::kGeomB8D4, BdiLayout::kB8D4) |
+      geom_bit(k, simd::kGeomB4D1, BdiLayout::kB4D1) |
+      geom_bit(k, simd::kGeomB4D2, BdiLayout::kB4D2) |
+      geom_bit(k, simd::kGeomB2D1, BdiLayout::kB2D1));
   return s;
 }
 

@@ -20,15 +20,18 @@ SecdedScheme::SecdedScheme() {
     }
   }
   ensures(next == column_.size(), "Hsiao column assignment incomplete");
+  for (std::size_t b = 0; b < column_.size(); ++b) {
+    for (std::size_t c = 0; c < parity_mask_.size(); ++c) {
+      if ((column_[b] >> c) & 1u) parity_mask_[c] |= std::uint64_t{1} << b;
+    }
+  }
 }
 
 std::uint8_t SecdedScheme::compute_check(std::uint64_t word) const {
   std::uint8_t check = 0;
-  std::uint64_t w = word;
-  while (w != 0) {
-    const unsigned b = static_cast<unsigned>(std::countr_zero(w));
-    w &= w - 1;
-    check ^= column_[b];
+  for (std::size_t c = 0; c < parity_mask_.size(); ++c) {
+    const auto parity = static_cast<unsigned>(std::popcount(word & parity_mask_[c])) & 1u;
+    check = static_cast<std::uint8_t>(check | (parity << c));
   }
   return check;
 }

@@ -44,6 +44,10 @@ class SecdedScheme final : public HardErrorScheme {
   // column_[i] is the 8-bit odd-weight syndrome column of data bit i;
   // check bit j has the weight-1 column (1 << j).
   std::array<std::uint8_t, 64> column_{};
+  // Transpose of column_: bit i of parity_mask_[j] is bit j of column_[i],
+  // so check bit j is the parity of (word & parity_mask_[j]) — 8 popcounts
+  // per word instead of a column XOR per set data bit.
+  std::array<std::uint64_t, 8> parity_mask_{};
 };
 
 }  // namespace pcmsim

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "common/simd.hpp"
 
 namespace pcmsim {
 
@@ -52,13 +53,17 @@ PcmArray::PcmArray(const PcmDeviceConfig& config) : config_(config), rng_(config
   static_assert(kLineTotalBits % 64 == 0, "lines must pack whole 64-bit words");
   values_.assign(cells / 64, 0);
   stuck_.assign(cells / 64, 0);
-  endurance_.resize(cells);
-  for (auto& e : endurance_) {
+  // 64 zeroed tail lanes beyond the last cell: the 64-lane masked-decrement
+  // kernel loads and rewrites whole lane groups, so a write ending at the
+  // array's final cell may touch (but never change) lanes past it. Sampling
+  // stops at `cells` so the RNG stream is identical to the unpadded layout.
+  endurance_.resize(cells + 64);
+  for (std::size_t i = 0; i < cells; ++i) {
     const double sample = rng_.next_lognormal_mean_cov(config.endurance_mean,
                                                        config.endurance_cov);
     const double clamped = std::clamp(
         sample, 1.0, static_cast<double>(std::numeric_limits<std::uint16_t>::max()));
-    e = static_cast<std::uint16_t>(clamped);
+    endurance_[i] = static_cast<std::uint16_t>(clamped);
   }
 
   // No stuck cells yet, so each line's watermark is simply the minimum
@@ -70,10 +75,9 @@ PcmArray::PcmArray(const PcmDeviceConfig& config) : config_(config), rng_(config
   // steady-state write path, which tests/alloc_regression_test.cpp forbids.
   prefix_.assign(config.lines * (kBlockBytes + 1), 0);
   for (std::size_t line = 0; line < config.lines; ++line) {
-    std::uint16_t wm = std::numeric_limits<std::uint16_t>::max();
     const std::size_t base = line * kLineTotalBits;
-    for (std::size_t b = 0; b < kBlockBits; ++b) wm = std::min(wm, endurance_[base + b]);
-    watermark_[line] = wm;
+    watermark_[line] = simd::active::masked_min_u16(endurance_.data() + base,
+                                                    stuck_.data() + base / 64, kBlockBits / 64);
   }
 }
 
@@ -138,6 +142,9 @@ PcmWriteResult PcmArray::write_range(std::size_t line, std::size_t bit_off,
   // Ranges touching the ECC-chip area (tests only) take the per-bit path:
   // the watermark only covers the data area.
   if (bit_off + nbits <= kBlockBits && watermark_[line] >= 2) {
+    // The per-line stuck count (maintained at fault birth) lets the common
+    // fault-free line skip the stuck-mask extraction and mismatch tally.
+    const bool line_has_stuck = data_stuck_[line] != 0;
     bool programmed_any = false;
     std::size_t i = 0;
     while (i < nbits) {
@@ -146,7 +153,7 @@ PcmWriteResult PcmArray::write_range(std::size_t line, std::size_t bit_off,
       const std::uint64_t want = load_bits64(data, i, chunk);
       const std::size_t pos = base + i;
       const std::uint64_t stored = extract64(values_, pos) & mask;
-      const std::uint64_t stuckm = extract64(stuck_, pos) & mask;
+      const std::uint64_t stuckm = line_has_stuck ? extract64(stuck_, pos) & mask : 0;
       const std::uint64_t diff = (stored ^ want) & mask;
 
       result.mismatched_bits += static_cast<std::size_t>(std::popcount(diff & stuckm));
@@ -166,12 +173,9 @@ PcmWriteResult PcmArray::write_range(std::size_t line, std::size_t bit_off,
         values_[w] ^= program << sh;
         if (sh != 0 && (program >> (64 - sh)) != 0) values_[w + 1] ^= program >> (64 - sh);
 
-        std::uint64_t m = program;
-        while (m != 0) {
-          const unsigned b = static_cast<unsigned>(std::countr_zero(m));
-          m &= m - 1;
-          --endurance_[pos + b];
-        }
+        // Masked u16 lane decrement over the contiguous endurance lanes —
+        // the vector counterpart of the per-set-bit countr_zero walk.
+        simd::active::endurance_decrement64(endurance_.data() + pos, program);
       }
       i += chunk;
     }
@@ -235,19 +239,14 @@ void PcmArray::write_range_slow(std::size_t line, std::size_t base, std::size_t 
 
 void PcmArray::rebuild_watermark(std::size_t line) {
   const std::size_t word0 = line * kLineTotalBits / 64;
-  std::uint16_t wm = std::numeric_limits<std::uint16_t>::max();
   bool any_live = false;
-  for (std::size_t w = 0; w < kBlockBits / 64; ++w) {
-    std::uint64_t live = ~stuck_[word0 + w];
-    const std::size_t cell0 = (word0 + w) * 64;
-    while (live != 0) {
-      const unsigned b = static_cast<unsigned>(std::countr_zero(live));
-      live &= live - 1;
-      wm = std::min(wm, endurance_[cell0 + b]);
-      any_live = true;
-    }
-  }
-  watermark_[line] = any_live ? wm : 0;
+  for (std::size_t w = 0; w < kBlockBits / 64; ++w) any_live |= ~stuck_[word0 + w] != 0;
+  // Masked u16 min-reduce with stuck lanes saturated to 0xFFFF; a fully
+  // stuck data area has no live minimum and disarms the fast path with 0.
+  watermark_[line] = any_live ? simd::active::masked_min_u16(endurance_.data() + word0 * 64,
+                                                             stuck_.data() + word0,
+                                                             kBlockBits / 64)
+                              : 0;
 }
 
 void PcmArray::on_fault_born(std::size_t line, std::size_t bit) {

@@ -13,7 +13,10 @@
 // lifetime studies; construction rejects configurations that would overflow).
 //
 // The write kernel is word-level: value updates are one masked XOR store per
-// 64-bit word and SET/RESET pulses are tallied with popcounts. A per-line
+// 64-bit word, SET/RESET pulses are tallied with popcounts, and the
+// endurance scatter-update and watermark min-scan run as masked u16 lane
+// kernels from common/simd.hpp (the endurance array carries 64 zeroed tail
+// lanes so those kernels never read past the allocation). A per-line
 // *fault-free watermark* — a lower bound on the remaining endurance of every
 // non-stuck data-area cell — proves, for the common case, that no cell can
 // wear out during the write, so the fast path never branches per bit and
@@ -143,7 +146,7 @@ class PcmArray {
   PcmDeviceConfig config_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> stuck_;
-  std::vector<std::uint16_t> endurance_;
+  std::vector<std::uint16_t> endurance_;  ///< cells + 64 zeroed tail lanes (SIMD slack)
   std::vector<std::uint16_t> watermark_;    ///< per line, see endurance_watermark()
   std::vector<std::uint16_t> data_stuck_;   ///< per line, exact data-area count
   mutable std::vector<std::uint16_t> prefix_;        ///< lazy, lines x (kBlockBytes+1)

@@ -8,6 +8,7 @@
 
 #include "common/assert.hpp"
 #include "common/profiler.hpp"
+#include "common/simd.hpp"
 
 namespace pcmsim {
 
@@ -101,15 +102,12 @@ void SampledTraceSource::produce(LineAddr line, WritebackEvent& ev) {
     } else {
       // Revert the previous version's dynamic words to the static base, then
       // overlay the new version — bit-identical to resynthesizing the value
-      // from scratch (see value_model.hpp's decomposition contract).
+      // from scratch (see value_model.hpp's decomposition contract). The
+      // revert is a masked blend of base_ into current_ over the 16 u32
+      // lanes rather than a per-word memcpy bit-walk.
       Block& cur = current_[line];
       const Block& base = base_[line];
-      std::uint16_t m = st.touched;
-      while (m != 0) {
-        const unsigned i = static_cast<unsigned>(std::countr_zero(m));
-        m = static_cast<std::uint16_t>(m & (m - 1));
-        std::memcpy(cur.data() + i * 4, base.data() + i * 4, 4);
-      }
+      if (st.touched != 0) simd::active::merge_block_u32(cur.data(), base.data(), st.touched);
       const ValueClassSpec& spec = app_.classes[st.class_index];
       st.touched = apply_dynamic(spec, ctx_[line], line, st.shape, st.version, cur);
     }
