@@ -11,7 +11,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "pcm/flip_n_write.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   const std::vector<AppProfile> profiles = spec2006_profiles();
   const auto flips = parallel_map(profiles, [&](const AppProfile& app) {
     FlipNWriteCodec codec(group_bits);
-    TraceGenerator gen(app, 1 << 12, 7);
+    SampledTraceSource src(app, 1 << 12, 7);
+    TraceCursor gen(src);
     struct State {
       Block stored{};
       std::uint64_t flags = 0;

@@ -9,7 +9,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   const AppProfile& app = profile_by_name(app_name);
-  TraceGenerator gen(app, 1 << 12, seed);
+  SampledTraceSource src(app, 1 << 12, seed);
+  TraceCursor gen(src);
 
   // Find the hottest block over a warmup window, then trace its rewrites.
   std::map<LineAddr, int> heat;
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"write#", "bit_flips", "flips_low256", "flips_high256"});
   RunningStat stat;
-  Block stored = gen.current_value(hot);
+  Block stored = src.current_value(hot);
   std::size_t seen = 0;
   while (seen < samples) {
     const auto ev = gen.next();

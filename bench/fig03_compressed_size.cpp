@@ -7,7 +7,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"app", "BDI_B", "FPC_B", "BEST_B", "CR_meas", "CR_paper"});
   RunningStat overall;
   for (const auto& app : spec2006_profiles()) {
-    TraceGenerator gen(app, 1 << 14, seed);
+    SampledTraceSource src(app, 1 << 14, seed);
+    TraceCursor gen(src);
     RunningStat bdi_size;
     RunningStat fpc_size;
     RunningStat best_size;

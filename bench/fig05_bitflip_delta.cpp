@@ -10,7 +10,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"app", "increased%", "untouched%", "decreased%"});
   double total_increased = 0;
   for (const auto& app : spec2006_profiles()) {
-    TraceGenerator gen(app, 1 << 14, seed);
+    SampledTraceSource src(app, 1 << 14, seed);
+    TraceCursor gen(src);
     std::unordered_map<LineAddr, ShadowLine> lines;
     std::uint64_t inc = 0;
     std::uint64_t same = 0;

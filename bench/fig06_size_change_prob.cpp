@@ -7,7 +7,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"app", "P(size_change)"});
   double sum = 0;
   for (const auto& app : spec2006_profiles()) {
-    TraceGenerator gen(app, 1 << 12, seed);
+    SampledTraceSource src(app, 1 << 12, seed);
+    TraceCursor gen(src);
     std::unordered_map<LineAddr, std::size_t> last;
     std::uint64_t changed = 0;
     std::uint64_t pairs = 0;

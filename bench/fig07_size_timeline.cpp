@@ -8,7 +8,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -16,7 +16,8 @@ namespace {
 
 void trace_app(const std::string& name, int samples, std::uint64_t seed, bool csv) {
   const AppProfile& app = profile_by_name(name);
-  TraceGenerator gen(app, 1 << 12, seed);
+  SampledTraceSource src(app, 1 << 12, seed);
+  TraceCursor gen(src);
   BestOfCompressor best;
 
   // Warm up to find three hot blocks.
@@ -29,7 +30,7 @@ void trace_app(const std::string& name, int samples, std::uint64_t seed, bool cs
   // blocks, and an incompressible one would be a flat 64-byte line).
   std::vector<LineAddr> blocks;
   for (const auto& [count, line] : ranked) {
-    if (best.probe_size(gen.current_value(line)).has_value()) blocks.push_back(line);
+    if (best.probe_size(src.current_value(line)).has_value()) blocks.push_back(line);
     if (blocks.size() == 3) break;
   }
 

@@ -8,7 +8,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   BestOfCompressor best;
   for (const std::string name : {"gcc", "milc"}) {
     const AppProfile& app = profile_by_name(name);
-    TraceGenerator gen(app, 1 << 14, seed);
+    SampledTraceSource src(app, 1 << 14, seed);
+    TraceCursor gen(src);
     std::unordered_map<LineAddr, std::size_t> max_size;
     for (int i = 0; i < writes; ++i) {
       const auto ev = gen.next();

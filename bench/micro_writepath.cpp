@@ -25,7 +25,7 @@
 #include "compression/best_of.hpp"
 #include "core/system.hpp"
 #include "pcm/flip_n_write.hpp"
-#include "trace/trace_source.hpp"
+#include "trace/sampled_source.hpp"
 #include "workload/trace.hpp"
 
 using namespace pcmsim;
@@ -81,15 +81,16 @@ int main(int argc, char** argv) {
 
   // Pre-generate a mixed corpus so trace generation stays out of every timed
   // loop. Three apps spanning the compressibility spectrum (Table III),
-  // batch-generated per app and interleaved i % 3 — the per-generator
-  // subsequences are independent streams, so this produces the same corpus
-  // (and work checksum) as the original one-event-at-a-time round-robin.
+  // batch-generated per app and interleaved i % 3 from the default sampled
+  // source — the per-source subsequences are independent streams, so the
+  // corpus is independent of batching. The work checksum pins this exact
+  // corpus (it was re-pinned when the default source flipped to sampled).
   std::vector<WritebackEvent> events(writes);
   {
-    GeneratorTraceSource gcc(profile_by_name("gcc"), lines, seed);
-    GeneratorTraceSource milc(profile_by_name("milc"), lines, seed + 1);
-    GeneratorTraceSource lbm(profile_by_name("lbm"), lines, seed + 2);
-    GeneratorTraceSource* gens[] = {&gcc, &milc, &lbm};
+    SampledTraceSource gcc(profile_by_name("gcc"), lines, seed);
+    SampledTraceSource milc(profile_by_name("milc"), lines, seed + 1);
+    SampledTraceSource lbm(profile_by_name("lbm"), lines, seed + 2);
+    SampledTraceSource* gens[] = {&gcc, &milc, &lbm};
     std::vector<WritebackEvent> lane;
     for (std::size_t g = 0; g < 3; ++g) {
       const std::size_t count = writes / 3 + (g < writes % 3 ? 1 : 0);

@@ -18,7 +18,7 @@
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
 #include "controller/controller.hpp"
-#include "workload/trace.hpp"
+#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -31,7 +31,8 @@ struct Mix {
 
 Mix measure_mix(const AppProfile& app, std::uint64_t seed) {
   BestOfCompressor best;
-  TraceGenerator gen(app, 1 << 12, seed);
+  SampledTraceSource src(app, 1 << 12, seed);
+  TraceCursor gen(src);
   std::uint64_t comp = 0;
   std::uint64_t bdi = 0;
   std::uint64_t total = 20000;

@@ -5,11 +5,17 @@
 //   ./build/examples/lifetime_study --app milc [--endurance 600] [--lines 768]
 //
 // The write-back stream is selectable:
-//   (default)          the legacy TraceGenerator (bit-identical to PR <= 4 runs)
-//   --source sampled   the batched SampledTraceSource (same workload model,
-//                      ~4x+ cheaper per event; statistically calibrated)
+//   (default)          the batched SampledTraceSource (statistically
+//                      calibrated against the legacy generator, ~4x+ cheaper
+//                      per event)
+//   --source legacy    the original TraceGenerator (bit-identical to PR <= 4
+//                      runs; the quarantined calibration oracle)
 //   --trace FILE       loop a captured v1/v2 trace file (values re-versioned
 //                      each pass so differential writes keep flipping cells)
+//   --decode parallel  fan v2 chunk decode over the thread pool (--trace only;
+//                      byte-identical stream, lower decode latency)
+//   --prefetch         fill trace batches on a background thread, overlapping
+//                      generation/decode with write execution
 //
 // `--profile` appends the write-path stage counters (trace-gen, compress,
 // heuristic, place, program, ECC, gap-move) as JSON, attributing the run's
@@ -25,7 +31,6 @@
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
 #include "trace/file_source.hpp"
-#include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
@@ -44,15 +49,23 @@ int main(int argc, char** argv) {
   lc.max_writes = 4'000'000'000ull;
 
   const std::string trace_path = args.get("trace", "");
-  const std::string source_kind = args.get("source", "legacy");
+  const std::string source_kind = args.get("source", "sampled");
+  const std::string decode_kind = args.get("decode", "serial");
+  expects(decode_kind == "serial" || decode_kind == "parallel",
+          "--decode must be 'serial' or 'parallel'");
+  const TraceDecode decode =
+      decode_kind == "parallel" ? TraceDecode::kParallel : TraceDecode::kSerial;
+  lc.prefetch = args.get_bool("prefetch");
 
   std::cout << "Workload: " << app.name << " (WPKI " << app.wpki << ", Table III CR "
             << app.table_cr << ", bucket " << to_string(app.bucket) << ")\n";
   if (!trace_path.empty()) {
-    std::cout << "Source: looped trace replay of " << trace_path << "\n";
-  } else if (source_kind == "sampled") {
-    std::cout << "Source: sampled (batched alias sampler)\n";
+    std::cout << "Source: looped trace replay of " << trace_path << " (" << decode_kind
+              << " decode)\n";
+  } else if (source_kind == "legacy") {
+    std::cout << "Source: legacy TraceGenerator (calibration oracle)\n";
   }
+  if (lc.prefetch) std::cout << "Prefetch: background batch fill enabled\n";
 
   // The four system configurations are independent runs on the same seeds —
   // simulate them concurrently, then print in the paper's order. Each run
@@ -68,16 +81,15 @@ int main(int argc, char** argv) {
     LifetimeConfig run_lc = lc;
     run_lc.system.mode = mode;
     if (!trace_path.empty()) {
-      LoopedFileTraceSource source(trace_path);
+      LoopedFileTraceSource source(trace_path, decode);
       return run_lifetime(source, run_lc);
     }
-    if (source_kind == "sampled") {
-      // StartGap keeps one spare physical slot, so the logical region the
-      // source folds onto is device.lines - 1 (matches system.logical_lines()).
-      SampledTraceSource source(app, run_lc.system.device.lines - 1, 42);
-      return run_lifetime(source, run_lc);
+    if (source_kind == "legacy") {
+      return run_lifetime_legacy(app, run_lc, 42);
     }
-    expects(source_kind == "legacy", "--source must be 'legacy' or 'sampled'");
+    expects(source_kind == "sampled", "--source must be 'sampled' or 'legacy'");
+    // run_lifetime's default path constructs the sampled source folded onto
+    // system.logical_lines() (device.lines - 1: StartGap keeps a spare slot).
     return run_lifetime(app, run_lc, 42);
   });
 

@@ -7,6 +7,7 @@ namespace pcmsim::prof {
 std::string_view stage_name(Stage s) {
   switch (s) {
     case Stage::kTraceGen: return "trace_gen";
+    case Stage::kTraceWait: return "trace_wait";
     case Stage::kCompress: return "compress";
     case Stage::kHeuristic: return "heuristic";
     case Stage::kPlace: return "place";

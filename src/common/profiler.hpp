@@ -28,6 +28,7 @@ namespace pcmsim::prof {
 
 enum class Stage : std::uint8_t {
   kTraceGen,   ///< synthetic write-back generation (workload/trace)
+  kTraceWait,  ///< consumer-side wait+copy under PrefetchTraceSource
   kCompress,   ///< best-of(BDI,FPC) compression
   kHeuristic,  ///< Fig-8 write decision
   kPlace,      ///< window placement search (find/fits)

@@ -4,6 +4,8 @@
 #include <array>
 
 #include "common/assert.hpp"
+#include "trace/prefetch_source.hpp"
+#include "trace/sampled_source.hpp"
 #include "trace/trace_source.hpp"
 
 namespace pcmsim {
@@ -65,11 +67,26 @@ LifetimeResult run_lifetime_on(PcmSystem& system, TraceSource& source,
 
 LifetimeResult run_lifetime(TraceSource& source, const LifetimeConfig& config) {
   PcmSystem system(config.system);
+  if (config.prefetch) {
+    PrefetchTraceSource prefetched(source);
+    return run_lifetime_on(system, prefetched, config);
+  }
   return run_lifetime_on(system, source, config);
 }
 
 LifetimeResult run_lifetime(const AppProfile& app, const LifetimeConfig& config,
                             std::uint64_t trace_seed) {
+  PcmSystem system(config.system);
+  SampledTraceSource source(app, system.logical_lines(), trace_seed);
+  if (config.prefetch) {
+    PrefetchTraceSource prefetched(source);
+    return run_lifetime_on(system, prefetched, config);
+  }
+  return run_lifetime_on(system, source, config);
+}
+
+LifetimeResult run_lifetime_legacy(const AppProfile& app, const LifetimeConfig& config,
+                                   std::uint64_t trace_seed) {
   PcmSystem system(config.system);
   GeneratorTraceSource source(app, system.logical_lines(), trace_seed);
   return run_lifetime_on(system, source, config);

@@ -1,9 +1,11 @@
 #include "trace/file_source.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace pcmsim {
@@ -16,12 +18,19 @@ std::uint64_t trace_file_magic(const std::string& path) {
   return in.good() ? magic : 0;
 }
 
-FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
+FileTraceSource::FileTraceSource(const std::string& path, TraceDecode decode)
+    : path_(path), decode_(decode) {
   const std::uint64_t magic = trace_file_magic(path);
   if (magic == kTraceV2Magic) {
-    v2_.emplace(path_);
-    total_records_ = v2_->total_records();
+    if (decode_ == TraceDecode::kParallel) {
+      index_ = std::make_shared<const TraceFileIndex>(path_);
+      total_records_ = index_->total_records();
+    } else {
+      v2_.emplace(path_);
+      total_records_ = v2_->total_records();
+    }
   } else if (magic == kTraceV1Magic) {
+    decode_ = TraceDecode::kSerial;  // v1 has no chunk structure to fan out
     v1_.emplace(path_);
     total_records_ = v1_->count();
   } else {
@@ -29,9 +38,49 @@ FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
   }
 }
 
+void FileTraceSource::decode_next_window() {
+  // Fan the next window of chunk indices over the pool. The window is sized
+  // to keep every worker busy while staying a small multiple of one chunk's
+  // memory; slot i always uses decoder i, so a slot's decoder state is only
+  // ever touched by the one task that owns the slot in this region.
+  const std::size_t chunks = index_->chunk_count();
+  const std::size_t width = std::max<std::size_t>(std::size_t{1}, parallel_threads());
+  const std::size_t want = std::min(chunks - next_chunk_, 2 * width);
+  if (window_.size() < want) window_.resize(want);
+  while (decoders_.size() < want) {
+    decoders_.push_back(std::make_unique<TraceChunkDecoder>(index_));
+  }
+  const std::size_t base = next_chunk_;
+  parallel_for(want, [&](std::size_t i) { decoders_[i]->decode(base + i, window_[i]); });
+  // Only reached when every chunk decoded cleanly — a CRC/layout violation is
+  // rethrown by parallel_for above and no window state advances.
+  next_chunk_ += want;
+  window_chunks_ = want;
+  window_chunk_pos_ = 0;
+  window_event_pos_ = 0;
+}
+
 std::size_t FileTraceSource::next_batch(std::span<WritebackEvent> out) {
   std::size_t n = 0;
-  if (v2_) {
+  if (index_) {  // v2, parallel window decode with in-order reassembly
+    while (n < out.size()) {
+      if (window_chunk_pos_ >= window_chunks_) {
+        if (next_chunk_ >= index_->chunk_count()) break;
+        decode_next_window();
+      }
+      const std::vector<WritebackEvent>& chunk = window_[window_chunk_pos_];
+      const std::size_t take =
+          std::min(out.size() - n, chunk.size() - window_event_pos_);
+      std::copy_n(chunk.begin() + static_cast<std::ptrdiff_t>(window_event_pos_), take,
+                  out.begin() + static_cast<std::ptrdiff_t>(n));
+      window_event_pos_ += take;
+      n += take;
+      if (window_event_pos_ >= chunk.size()) {
+        ++window_chunk_pos_;
+        window_event_pos_ = 0;
+      }
+    }
+  } else if (v2_) {
     while (n < out.size() && v2_->next(out[n])) ++n;
   } else {
     while (n < out.size()) {
@@ -45,7 +94,12 @@ std::size_t FileTraceSource::next_batch(std::span<WritebackEvent> out) {
 }
 
 void FileTraceSource::reset() {
-  if (v2_) {
+  if (index_) {
+    next_chunk_ = 0;
+    window_chunks_ = 0;
+    window_chunk_pos_ = 0;
+    window_event_pos_ = 0;
+  } else if (v2_) {
     v2_->reset();
   } else {
     v1_.emplace(path_);  // v1 reader has no rewind; reopen
@@ -53,7 +107,8 @@ void FileTraceSource::reset() {
   events_ = 0;
 }
 
-LoopedFileTraceSource::LoopedFileTraceSource(const std::string& path) : file_(path) {
+LoopedFileTraceSource::LoopedFileTraceSource(const std::string& path, TraceDecode decode)
+    : file_(path, decode) {
   expects(file_.total_records() > 0, "cannot loop an empty trace file");
 }
 

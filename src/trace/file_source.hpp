@@ -4,6 +4,20 @@
 // ("PCMTRACE", fixed 72-byte records) or chunked v2 ("PCMTRC2\0",
 // trace_file.hpp). Both replay the identical event stream a capture recorded.
 //
+// v2 chunks are independently decodable, so the source offers two decode
+// modes:
+//   * TraceDecode::kSerial   — one TraceChunkDecoder streams chunks in order
+//     (the original path; v1 files always use this).
+//   * TraceDecode::kParallel — a window of upcoming chunks is fanned out over
+//     the deterministic parallel engine (common/parallel.hpp), one
+//     slot-pinned TraceChunkDecoder per window slot (own ifstream, varint
+//     cursor, CRC check, BestOf scratch — zero shared mutable state), then
+//     reassembled in directory order. The delivered event stream is
+//     byte-identical to serial decode at any thread count; only the wall
+//     clock changes. A corrupt chunk anywhere in the window surfaces as a
+//     ContractViolation from next_batch (rethrown by parallel_for), exactly
+//     as the serial path would.
+//
 // LoopedFileTraceSource makes a finite capture drive an unbounded lifetime
 // run. Replaying a recorded trace verbatim a second time is degenerate under
 // differential writes — every rewrite stores the identical value and flips
@@ -11,11 +25,15 @@
 // per-(line, pass) mutation flips the low byte of a few nonzero data words.
 // Zero words are never touched, which preserves each block's zero structure
 // (and hence its compressibility class); all-zero blocks therefore replay
-// unchanged by design.
+// unchanged by design. The mutation depends only on (line, pass), so looped
+// replay over a parallel-decoding file source stays byte-identical to the
+// serial order too.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "trace/trace_file.hpp"
 #include "trace/trace_source.hpp"
@@ -25,11 +43,15 @@ namespace pcmsim {
 /// Reads the leading 8-byte magic of `path` (0 if the file is too short).
 [[nodiscard]] std::uint64_t trace_file_magic(const std::string& path);
 
+/// How FileTraceSource turns v2 chunks back into events (see file header).
+enum class TraceDecode { kSerial, kParallel };
+
 /// Finite replay of a v1 or v2 trace file. next_batch() underfills at end of
 /// trace and returns 0 thereafter; reset() rewinds to the first record.
 class FileTraceSource final : public TraceSource {
  public:
-  explicit FileTraceSource(const std::string& path);
+  explicit FileTraceSource(const std::string& path,
+                           TraceDecode decode = TraceDecode::kSerial);
   FileTraceSource(const FileTraceSource&) = delete;
   FileTraceSource& operator=(const FileTraceSource&) = delete;
 
@@ -40,10 +62,24 @@ class FileTraceSource final : public TraceSource {
   /// Records stored in the file (one full pass).
   [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
 
+  /// The decode mode actually in effect (v1 files fall back to kSerial).
+  [[nodiscard]] TraceDecode decode_mode() const { return decode_; }
+
  private:
+  void decode_next_window();
+
   std::string path_;
-  std::optional<TraceReader> v1_;       // exactly one of v1_/v2_ is engaged
-  std::optional<TraceFileReader> v2_;
+  TraceDecode decode_ = TraceDecode::kSerial;
+  std::optional<TraceReader> v1_;  // v1 files: streaming reader (serial only)
+  std::optional<TraceFileReader> v2_;  // v2 serial: streaming reader
+  // v2 parallel: shared index + slot-pinned decoders + in-order window.
+  std::shared_ptr<const TraceFileIndex> index_;
+  std::vector<std::unique_ptr<TraceChunkDecoder>> decoders_;
+  std::vector<std::vector<WritebackEvent>> window_;  ///< decoded chunks, in order
+  std::size_t window_chunks_ = 0;     ///< valid entries in window_
+  std::size_t window_chunk_pos_ = 0;  ///< chunk being consumed
+  std::size_t window_event_pos_ = 0;  ///< next event within that chunk
+  std::size_t next_chunk_ = 0;        ///< next chunk index to decode
   std::uint64_t total_records_ = 0;
   std::uint64_t events_ = 0;
 };
@@ -52,7 +88,8 @@ class FileTraceSource final : public TraceSource {
 /// after the first so rewrites keep flipping cells (see file header).
 class LoopedFileTraceSource final : public TraceSource {
  public:
-  explicit LoopedFileTraceSource(const std::string& path);
+  explicit LoopedFileTraceSource(const std::string& path,
+                                 TraceDecode decode = TraceDecode::kSerial);
   LoopedFileTraceSource(const LoopedFileTraceSource&) = delete;
   LoopedFileTraceSource& operator=(const LoopedFileTraceSource&) = delete;
 

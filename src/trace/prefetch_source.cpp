@@ -1,0 +1,120 @@
+#include "trace/prefetch_source.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/profiler.hpp"
+
+namespace pcmsim {
+
+PrefetchTraceSource::PrefetchTraceSource(TraceSource& inner, std::size_t buffer_events)
+    : inner_(inner), capacity_(buffer_events) {
+  expects(capacity_ > 0, "prefetch buffer must hold at least one event");
+  for (Buffer& b : buffers_) b.events.resize(capacity_);
+  start();
+}
+
+PrefetchTraceSource::~PrefetchTraceSource() { stop(); }
+
+void PrefetchTraceSource::start() {
+  stop_ = false;
+  drained_ = false;
+  fill_idx_ = 0;
+  read_idx_ = 0;
+  read_pos_ = 0;
+  for (Buffer& b : buffers_) {
+    b.size = 0;
+    b.end = false;
+    b.state = Slot::kFree;
+  }
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+void PrefetchTraceSource::stop() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  free_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void PrefetchTraceSource::worker_main() {
+  // Each iteration claims the next free buffer, fills it from the inner
+  // source OUTSIDE the lock (this is the work being overlapped), then
+  // publishes it. The inner source is only ever touched from this thread
+  // while the worker is alive, so no lock is needed around next_batch.
+  for (;;) {
+    Buffer* buf = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      free_cv_.wait(lock, [&] { return stop_ || buffers_[fill_idx_].state == Slot::kFree; });
+      if (stop_) return;
+      buf = &buffers_[fill_idx_];
+      fill_idx_ ^= 1;
+    }
+    std::size_t filled = 0;
+    bool end = false;
+    while (filled < capacity_) {
+      const std::size_t n = inner_.next_batch(
+          std::span<WritebackEvent>(buf->events.data() + filled, capacity_ - filled));
+      if (n == 0) {
+        end = true;
+        break;
+      }
+      filled += n;
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      buf->size = filled;
+      buf->end = end;
+      buf->state = Slot::kReady;
+    }
+    ready_cv_.notify_all();
+    if (end) return;  // the end-marked buffer is the last one; worker retires
+  }
+}
+
+std::size_t PrefetchTraceSource::next_batch(std::span<WritebackEvent> out) {
+  // kTraceWait is the consumer-visible cost of trace ingestion under
+  // prefetch: block-on-producer time plus the copy out of the ready buffer.
+  // The inner source's own generation cost still accrues in kTraceGen, on
+  // the worker thread, overlapped with the caller's work.
+  prof::ScopedStage stage(prof::Stage::kTraceWait);
+  std::size_t n = 0;
+  while (n < out.size()) {
+    if (drained_) break;
+    Buffer& buf = buffers_[read_idx_];
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      ready_cv_.wait(lock, [&] { return buf.state == Slot::kReady; });
+    }
+    const std::size_t take = std::min(out.size() - n, buf.size - read_pos_);
+    std::copy_n(buf.events.begin() + static_cast<std::ptrdiff_t>(read_pos_), take,
+                out.begin() + static_cast<std::ptrdiff_t>(n));
+    read_pos_ += take;
+    n += take;
+    if (read_pos_ >= buf.size) {
+      if (buf.end) {
+        drained_ = true;
+      } else {
+        std::lock_guard<std::mutex> lock(m_);
+        buf.state = Slot::kFree;
+        read_idx_ ^= 1;
+        read_pos_ = 0;
+        free_cv_.notify_all();
+      }
+    }
+  }
+  events_ += n;
+  return n;
+}
+
+void PrefetchTraceSource::reset() {
+  stop();
+  inner_.reset();
+  events_ = 0;
+  start();
+}
+
+}  // namespace pcmsim

@@ -4,22 +4,31 @@
 // accesses in Gem5, which are then fed to a lightweight memory simulator".
 // TraceSource is the simulator-facing seam for every way such a stream can be
 // produced:
-//   * GeneratorTraceSource — the original per-event TraceGenerator behind the
-//     batch interface; figure benches keep it so their stdout stays pinned
-//     bit-for-bit (fig09/table4 gates).
 //   * SampledTraceSource (sampled_source.hpp) — the batched flat-state
-//     sampler, statistically calibrated against the generator and ~4x+
-//     cheaper per event.
+//     sampler, statistically calibrated against the legacy generator and
+//     ~4x+ cheaper per event. The default source for every figure/table
+//     bench and lifetime run.
+//   * GeneratorTraceSource — the original per-event TraceGenerator behind
+//     the batch interface. Quarantined: reachable only via explicit opt-in
+//     (`--source legacy` in lifetime_study / micro_tracegen,
+//     run_lifetime_legacy in code); kept as the calibration oracle the
+//     sampled source is validated against (tests/trace_sampler_test.cpp).
 //   * FileTraceSource / LoopedFileTraceSource (file_source.hpp) — replay of
-//     on-disk captures (v1 or chunked v2).
+//     on-disk captures (v1 or chunked v2; v2 optionally chunk-parallel).
+//   * PrefetchTraceSource (prefetch_source.hpp) — decorator that fills the
+//     next batch on a background thread, overlapping generation/decode with
+//     the consumer's write execution.
 //
 // Sources produce events in batches (next_batch) so per-event virtual-call
-// and profiler overhead amortizes across a span.
+// and profiler overhead amortizes across a span. Every source's stream is
+// independent of how it is batched — the decorators above rely on this.
 #pragma once
 
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "common/assert.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/trace.hpp"
 
@@ -44,10 +53,45 @@ class TraceSource {
   virtual void reset() = 0;
 };
 
+/// Per-event cursor over any batched TraceSource, for consumers that want a
+/// next()-style loop (the figure benches follow individual hot lines). Pulls
+/// events in fixed tiles; the delivered stream is exactly the source's
+/// stream, so a cursor loop and a next_batch loop see identical events.
+class TraceCursor {
+ public:
+  explicit TraceCursor(TraceSource& source, std::size_t tile = 256)
+      : source_(source), buf_(tile) {}
+
+  /// Fills `ev` with the next event; false at the end of a finite source.
+  [[nodiscard]] bool next(WritebackEvent& ev) {
+    if (pos_ >= size_) {
+      size_ = source_.next_batch(std::span(buf_.data(), buf_.size()));
+      pos_ = 0;
+      if (size_ == 0) return false;
+    }
+    ev = buf_[pos_++];
+    return true;
+  }
+
+  /// Convenience for unbounded sources (samplers, looped replay), which by
+  /// contract always fill the whole span.
+  [[nodiscard]] WritebackEvent next() {
+    WritebackEvent ev;
+    expects(next(ev), "trace source exhausted mid-cursor");
+    return ev;
+  }
+
+ private:
+  TraceSource& source_;
+  std::vector<WritebackEvent> buf_;
+  std::size_t pos_ = 0;
+  std::size_t size_ = 0;
+};
+
 /// The legacy per-event TraceGenerator behind the TraceSource interface.
 /// Event content and ordering are bit-identical to calling
-/// TraceGenerator::next() in a loop, which is what keeps the figure benches'
-/// pinned outputs (fig09/table4, writepath checksum) unchanged.
+/// TraceGenerator::next() in a loop. Quarantined to explicit `--source
+/// legacy` opt-ins; the calibration tests keep it honest as the oracle.
 class GeneratorTraceSource final : public TraceSource {
  public:
   GeneratorTraceSource(const AppProfile& app, std::uint64_t region_lines, std::uint64_t seed)
