@@ -53,18 +53,22 @@ class Pool {
     if (n == 0) return;
     const std::size_t width = threads();
     if (width <= 1 || n == 1 || tls_in_region) {
-      struct Restore {
-        bool prev;
-        ~Restore() { tls_in_region = prev; }
-      } restore{tls_in_region};
-      (void)restore;
-      tls_in_region = true;
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      run_inline(n, fn);
       return;
     }
 
-    std::lock_guard run_lk(run_m_);  // one region at a time
-    ensure_started(width - 1);       // the caller is the width-th worker
+    // One region at a time. If another thread's region is already active, run
+    // inline instead of blocking on it: that region's tasks may themselves be
+    // waiting on this thread's output (a PrefetchTraceSource worker feeding a
+    // parallel_map task does exactly this), so blocking here can deadlock.
+    // Results are written to caller-indexed slots, so the serial fallback is
+    // bit-identical to the fanned-out execution.
+    std::unique_lock run_lk(run_m_, std::try_to_lock);
+    if (!run_lk.owns_lock()) {
+      run_inline(n, fn);
+      return;
+    }
+    ensure_started(width - 1);  // the caller is the width-th worker
 
     Job job;
     job.fn = &fn;
@@ -91,6 +95,16 @@ class Pool {
   ~Pool() { stop_workers(); }
 
  private:
+  static void run_inline(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    struct Restore {
+      bool prev;
+      ~Restore() { tls_in_region = prev; }
+    } restore{tls_in_region};
+    (void)restore;
+    tls_in_region = true;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;

@@ -12,7 +12,11 @@
 // > the PCMSIM_THREADS environment variable > hardware_concurrency.
 //
 // Nested regions run inline on the calling worker (no deadlock, no
-// oversubscription); exceptions thrown by `fn` cancel the remaining indices
+// oversubscription), and a region opened while another thread's region is
+// active also runs inline — a busy pool degrades to serial execution (same
+// results, by the slot rule above) instead of blocking, so regions compose
+// freely across threads (e.g. a prefetch worker decoding inside a
+// parallel_map task). Exceptions thrown by `fn` cancel the remaining indices
 // and are rethrown on the calling thread.
 #pragma once
 

@@ -22,6 +22,7 @@ void PrefetchTraceSource::start() {
   fill_idx_ = 0;
   read_idx_ = 0;
   read_pos_ = 0;
+  error_ = nullptr;
   for (Buffer& b : buffers_) {
     b.size = 0;
     b.end = false;
@@ -55,17 +56,28 @@ void PrefetchTraceSource::worker_main() {
     }
     std::size_t filled = 0;
     bool end = false;
-    while (filled < capacity_) {
-      const std::size_t n = inner_.next_batch(
-          std::span<WritebackEvent>(buf->events.data() + filled, capacity_ - filled));
-      if (n == 0) {
-        end = true;
-        break;
+    std::exception_ptr error;
+    try {
+      while (filled < capacity_) {
+        const std::size_t n = inner_.next_batch(
+            std::span<WritebackEvent>(buf->events.data() + filled, capacity_ - filled));
+        if (n == 0) {
+          end = true;
+          break;
+        }
+        filled += n;
       }
-      filled += n;
+    } catch (...) {
+      // The exception must not escape the thread function (std::terminate).
+      // Discard the partial fill, end-mark the stream, and hand the error to
+      // the consumer, which rethrows it from next_batch.
+      error = std::current_exception();
+      filled = 0;
+      end = true;
     }
     {
       std::lock_guard<std::mutex> lock(m_);
+      if (error) error_ = error;
       buf->size = filled;
       buf->end = end;
       buf->state = Slot::kReady;
@@ -106,6 +118,10 @@ std::size_t PrefetchTraceSource::next_batch(std::span<WritebackEvent> out) {
       }
     }
   }
+  // A worker-side failure end-marks the stream with its fill discarded, so
+  // the consumer first drains whatever earlier buffers delivered, then every
+  // subsequent call rethrows — never a partial batch from the failing fill.
+  if (drained_ && error_ && n == 0) std::rethrow_exception(error_);
   events_ += n;
   return n;
 }

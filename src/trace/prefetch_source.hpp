@@ -21,6 +21,14 @@
 // run where writes are slower than generation, kTraceWait collapses to the
 // memcpy cost and trace ingestion disappears from the critical path.
 //
+// Errors: an exception thrown by the inner source on the worker thread (a
+// ContractViolation from a corrupt trace file, say) is captured, the stream
+// is end-marked, and the exception is rethrown from the consumer's next
+// next_batch() call — the same contract as calling the inner source
+// directly. The failing fill is discarded, so the consumer never sees a
+// partial batch from it, and the rethrow is sticky: every later call throws
+// again until reset().
+//
 // Lifecycle: the destructor and reset() stop the worker cleanly mid-stream
 // (shutdown latency is bounded by one buffer fill). The decorator borrows
 // the inner source; it must outlive the decorator's last use.
@@ -28,6 +36,7 @@
 
 #include <array>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -79,7 +88,8 @@ class PrefetchTraceSource final : public TraceSource {
   std::size_t read_idx_ = 0;  ///< consumer's current buffer (alternates)
   std::size_t read_pos_ = 0;  ///< consumed prefix of the current buffer
   bool stop_ = false;
-  bool drained_ = false;  ///< consumer reached the end-marked buffer
+  bool drained_ = false;        ///< consumer reached the end-marked buffer
+  std::exception_ptr error_;    ///< worker-side failure, rethrown to the consumer
   std::uint64_t events_ = 0;
 };
 

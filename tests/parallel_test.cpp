@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -71,6 +72,30 @@ TEST_F(ParallelTest, NestedRegionsRunInlineWithoutDeadlock) {
     parallel_for(inner, [&](std::size_t) { ++counts[o]; });
   });
   for (std::size_t o = 0; o < outer; ++o) EXPECT_EQ(counts[o].load(), inner);
+}
+
+TEST_F(ParallelTest, ForeignThreadRegionDegradesToInlineWhilePoolBusy) {
+  // A region opened from a thread the pool does not own, while another
+  // region is active, must run inline instead of blocking: the active
+  // region's tasks may be waiting on that thread's output (the prefetch
+  // decorator's worker does exactly this). Index 0 is always claimed first,
+  // so the helper thread runs while the other tasks hold the region open;
+  // with a blocking pool this test deadlocks.
+  set_parallel_threads(4);
+  std::atomic<bool> done{false};
+  std::atomic<int> inner_sum{0};
+  parallel_for(4, [&](std::size_t o) {
+    if (o != 0) {
+      while (!done.load()) std::this_thread::yield();
+      return;
+    }
+    std::thread helper([&] {
+      parallel_for(64, [&](std::size_t i) { inner_sum += static_cast<int>(i); });
+      done.store(true);
+    });
+    helper.join();
+  });
+  EXPECT_EQ(inner_sum.load(), 64 * 63 / 2);
 }
 
 TEST_F(ParallelTest, SetThreadsOverridesAndZeroRestoresAuto) {

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/parallel.hpp"
 #include "sim/lifetime.hpp"
 #include "trace/file_source.hpp"
@@ -185,6 +187,84 @@ TEST(PrefetchTraceSource, ComposesOverParallelFileDecode) {
   PrefetchTraceSource prefetched(inner, 192);
   expect_same(expected, drain_n(prefetched, 5000, 89));
   set_parallel_threads(saved);
+  std::remove(path.c_str());
+}
+
+TEST(PrefetchTraceSource, ComposesInsideOuterParallelMapRegion) {
+  // lifetime_study fans its four system modes out with parallel_map; each
+  // task wraps a parallel-decode file source in a prefetch decorator. The
+  // prefetch workers must not block on the pool the outer region holds (that
+  // deadlocked: the outer tasks wait on the workers, the workers on the
+  // pool); a busy pool degrades their decode to serial, which delivers the
+  // identical stream.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pcmsim_prefetch_nested.trace").string();
+  {
+    SampledTraceSource gen(profile_by_name("gcc"), 1 << 12, 17);
+    std::vector<WritebackEvent> batch(2000);
+    (void)gen.next_batch(batch);
+    TraceFileWriter writer(path, 128);
+    for (const auto& ev : batch) writer.append(ev);
+    writer.close();
+  }
+  FileTraceSource reference(path, TraceDecode::kSerial);
+  const auto expected = drain_n(reference, 5000, 256);
+
+  const std::size_t saved = parallel_threads();
+  for (const std::size_t threads : {2u, 7u}) {
+    set_parallel_threads(threads);
+    const std::vector<std::size_t> lanes = {0, 1, 2, 3};
+    const auto streams = parallel_map(lanes, [&](std::size_t lane) {
+      FileTraceSource inner(path, TraceDecode::kParallel);
+      PrefetchTraceSource prefetched(inner, 192);
+      return drain_n(prefetched, 5000, 83 + lane);
+    });
+    for (const auto& got : streams) expect_same(expected, got);
+  }
+  set_parallel_threads(saved);
+  std::remove(path.c_str());
+}
+
+TEST(PrefetchTraceSource, InnerErrorRethrownFromNextBatch) {
+  // A ContractViolation thrown by the inner source on the worker thread must
+  // surface from the consumer's next_batch — not std::terminate the process —
+  // with no partial batch from the failing fill, and stay sticky afterwards.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pcmsim_prefetch_corrupt.trace").string();
+  {
+    SampledTraceSource gen(profile_by_name("gcc"), 1 << 12, 19);
+    std::vector<WritebackEvent> batch(640);
+    (void)gen.next_batch(batch);
+    TraceFileWriter writer(path, 64);
+    for (const auto& ev : batch) writer.append(ev);
+    writer.close();
+  }
+  {  // flip a payload byte in the first chunk: the very first fill hits it
+    TraceFileReader clean(path);
+    const auto dir = clean.directory();
+    ASSERT_FALSE(dir.empty());
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const auto pos =
+        static_cast<std::streamoff>(dir[0].offset + 12 + dir[0].payload_bytes / 2);
+    f.seekg(pos);
+    const int byte = f.get();
+    f.seekp(pos);
+    f.put(static_cast<char>(byte ^ 0x40));
+  }
+  for (const TraceDecode decode : {TraceDecode::kSerial, TraceDecode::kParallel}) {
+    FileTraceSource inner(path, decode);
+    PrefetchTraceSource prefetched(inner, 256);
+    std::vector<WritebackEvent> batch(128);
+    EXPECT_THROW(
+        {
+          while (prefetched.next_batch(std::span(batch.data(), batch.size())) != 0) {
+          }
+        },
+        ContractViolation);
+    // Sticky: the stream stays errored instead of hanging or ending quietly.
+    EXPECT_THROW((void)prefetched.next_batch(std::span(batch.data(), batch.size())),
+                 ContractViolation);
+  }
   std::remove(path.c_str());
 }
 
