@@ -18,11 +18,17 @@
 #include "common/table.hpp"
 #include "compression/best_of.hpp"
 #include "controller/controller.hpp"
+#include "core/address_map.hpp"
 #include "trace/sampled_source.hpp"
 
 using namespace pcmsim;
 
 namespace {
+
+/// Region the synthetic request stream addresses; banks are derived from the
+/// drawn line through the shared AddressMap (the same mapping the sharded
+/// engine executes on), not an independent uniform draw.
+constexpr std::uint64_t kStreamRegionLines = 1 << 12;
 
 struct Mix {
   double compressed_fraction = 0;  ///< of lines, weighted by write traffic
@@ -31,7 +37,7 @@ struct Mix {
 
 Mix measure_mix(const AppProfile& app, std::uint64_t seed) {
   BestOfCompressor best;
-  SampledTraceSource src(app, 1 << 12, seed);
+  SampledTraceSource src(app, kStreamRegionLines, seed);
   TraceCursor gen(src);
   std::uint64_t comp = 0;
   std::uint64_t bdi = 0;
@@ -54,6 +60,8 @@ double run_stream(const AppProfile& app, const Mix& mix, bool with_decompression
   ControllerConfig cfg;
   MemoryController mc(cfg);
   Rng rng(seed);
+  const AddressMap map;  // 2 channels x 4 banks (Table II)
+  expects(map.shards() == cfg.banks, "controller banks must match the address map");
 
   // Rates per controller cycle (400 MHz) from the CMP's instruction rate
   // (16 cores x 2.5 GHz x IPC 0.4) and the app's WPKI; reads (LLC misses)
@@ -77,7 +85,7 @@ double run_stream(const AppProfile& app, const Mix& mix, bool with_decompression
       MemRequest r;
       r.arrival_cycle = cycle;
       r.is_read = true;
-      r.bank = static_cast<std::uint32_t>(rng.next_below(cfg.banks));
+      r.bank = map.shard_of(rng.next_below(kStreamRegionLines));
       if (with_decompression && rng.next_bool(mix.compressed_fraction)) {
         r.decompression_cpu_cycles = rng.next_bool(mix.bdi_share) ? 1 : 5;
       }
@@ -87,7 +95,7 @@ double run_stream(const AppProfile& app, const Mix& mix, bool with_decompression
       MemRequest w;
       w.arrival_cycle = cycle;
       w.is_read = false;
-      w.bank = static_cast<std::uint32_t>(rng.next_below(cfg.banks));
+      w.bank = map.shard_of(rng.next_below(kStreamRegionLines));
       mc.submit(w);
     }
   }

@@ -37,6 +37,7 @@ void MemoryController::pump(Bank& bank, std::uint64_t now) {
       if (start > now) break;
       bank.reads.pop_front();
       bank.free_at = start + read_service_cycles();
+      busy_cycles_ += read_service_cycles();
       const double decomp =
           static_cast<double>(req.decompression_cpu_cycles) *
           (static_cast<double>(config_.timing.clock_mhz) / 1000.0 / config_.cpu_ghz);
@@ -49,6 +50,7 @@ void MemoryController::pump(Bank& bank, std::uint64_t now) {
       if (start > now) break;
       bank.writes.pop_front();
       bank.free_at = start + write_service_cycles();
+      busy_cycles_ += write_service_cycles();
       write_latency_.add(static_cast<double>(bank.free_at - req.arrival_cycle));
       if (force_writes && !bank.reads.empty()) ++read_stalls_;
       continue;
@@ -58,7 +60,9 @@ void MemoryController::pump(Bank& bank, std::uint64_t now) {
 }
 
 void MemoryController::submit(const MemRequest& request) {
-  expects(request.arrival_cycle >= last_arrival_, "requests must arrive in order");
+  expects(!finished_, "submit after finish(): the controller is sealed");
+  expects(request.arrival_cycle >= last_arrival_,
+          "requests must arrive in non-decreasing cycle order");
   expects(request.bank < config_.banks, "bank out of range");
   last_arrival_ = request.arrival_cycle;
   Bank& bank = banks_[request.bank];
@@ -87,7 +91,9 @@ void MemoryController::finish() {
     while (!bank.reads.empty() || !bank.writes.empty()) {
       pump(bank, bank.free_at + 1'000'000);
     }
+    drained_at_ = std::max(drained_at_, bank.free_at);
   }
+  finished_ = true;
 }
 
 }  // namespace pcmsim

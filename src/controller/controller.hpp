@@ -39,16 +39,26 @@ class MemoryController {
  public:
   explicit MemoryController(const ControllerConfig& config);
 
-  /// Presents one request; requests must arrive in non-decreasing cycle order.
+  /// Presents one request. Preconditions (ContractViolation on breach, the
+  /// queueing state is never silently corrupted): arrival cycles are
+  /// non-decreasing across the whole stream, the bank index is in range, and
+  /// the controller has not been finish()ed.
   void submit(const MemRequest& request);
 
-  /// Drains everything still queued.
+  /// Drains everything still queued. After finish() the controller is a
+  /// sealed report: further submits throw ContractViolation.
   void finish();
 
   /// Average read latency in controller cycles (queueing + service + decomp).
   [[nodiscard]] const RunningStat& read_latency() const { return read_latency_; }
   [[nodiscard]] const RunningStat& write_latency() const { return write_latency_; }
   [[nodiscard]] std::uint64_t read_stalls() const { return read_stalls_; }
+
+  /// Cycles any bank spent servicing bursts (sum over banks). With the drain
+  /// cycle below this yields modeled utilization: busy / (drained * banks).
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
+  /// Cycle at which the last bank went idle; valid after finish().
+  [[nodiscard]] std::uint64_t drained_at() const { return drained_at_; }
 
   /// Service time of a read/write burst in controller cycles.
   [[nodiscard]] std::uint32_t read_service_cycles() const;
@@ -69,6 +79,9 @@ class MemoryController {
   RunningStat write_latency_;
   std::uint64_t read_stalls_ = 0;
   std::uint64_t last_arrival_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t drained_at_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace pcmsim

@@ -1,0 +1,76 @@
+// The single source of truth for how line addresses map onto the memory
+// organization (channels x banks), shared by every layer that reasons about
+// bank-level parallelism: PcmSystem's per-bank rotation counters, the
+// sec5b controller timing bench, and the sharded multi-tenant engine
+// (sim/sharded_engine.hpp). Keeping one helper means the timing model and
+// the execution engine can never disagree on which bank a line lives in.
+//
+// The interleave is DDR-style low-order: consecutive lines land on
+// consecutive banks (round-robin across all channels x banks), which is what
+// spreads a sequential write-back burst across every bank that could serve
+// it in parallel. `local_of` is the per-shard row index that remains after
+// the shard bits are peeled off, so a region of `n` global lines shards into
+// `shards()` regions of `n / shards()` local lines each.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace pcmsim {
+
+/// Bank of a physical line under round-robin interleave — the one mapping
+/// formula every consumer must share. PcmSystem uses it against its own
+/// `banks` count for the intra-line rotation counters.
+[[nodiscard]] constexpr std::uint32_t bank_of(std::uint64_t physical_line,
+                                              std::uint32_t banks) {
+  return static_cast<std::uint32_t>(physical_line % banks);
+}
+
+/// Channel x bank geometry and the line -> shard mapping derived from it.
+/// A "shard" is one (channel, bank) pair: the unit that owns an independent
+/// PcmSystem slice in the sharded engine and one bank queue in the
+/// controller model.
+struct AddressMap {
+  std::uint32_t channels = 2;         ///< Table II: 2 channels
+  std::uint32_t banks_per_channel = 4;  ///< Table II: 1 rank x 4 banks
+
+  [[nodiscard]] constexpr std::uint32_t shards() const {
+    return channels * banks_per_channel;
+  }
+
+  /// Shard (global bank index across channels) serving `line`.
+  [[nodiscard]] constexpr std::uint32_t shard_of(LineAddr line) const {
+    return bank_of(line, shards());
+  }
+
+  /// Channel serving `line` (shards interleave across channels first).
+  [[nodiscard]] constexpr std::uint32_t channel_of(LineAddr line) const {
+    return shard_of(line) % channels;
+  }
+
+  /// Bank within its channel serving `line`.
+  [[nodiscard]] constexpr std::uint32_t channel_bank_of(LineAddr line) const {
+    return shard_of(line) / channels;
+  }
+
+  /// Per-shard row index of `line` (its address inside the owning shard).
+  [[nodiscard]] constexpr std::uint64_t local_of(LineAddr line) const {
+    return line / shards();
+  }
+
+  /// Inverse of (shard_of, local_of): the global line address.
+  [[nodiscard]] constexpr LineAddr global_of(std::uint32_t shard,
+                                             std::uint64_t local) const {
+    return local * shards() + shard;
+  }
+
+  /// Validates the geometry (constructors of consumers call this once).
+  void validate() const {
+    expects(channels >= 1, "address map needs at least one channel");
+    expects(banks_per_channel >= 1, "address map needs at least one bank per channel");
+  }
+};
+
+}  // namespace pcmsim

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/profiler.hpp"
+#include "core/address_map.hpp"
 #include "ecc/aegis.hpp"
 #include "ecc/ecp.hpp"
 #include "ecc/safer.hpp"
@@ -19,6 +20,21 @@ std::string_view to_string(SystemMode m) {
     case SystemMode::kCompWF: return "Comp+WF";
   }
   return "?";
+}
+
+void SystemStats::merge(const SystemStats& other) {
+  writes += other.writes;
+  compressed_writes += other.compressed_writes;
+  uncompressed_writes += other.uncompressed_writes;
+  dropped_writes += other.dropped_writes;
+  uncorrectable_events += other.uncorrectable_events;
+  window_slides += other.window_slides;
+  recycled_lines += other.recycled_lines;
+  gap_moves += other.gap_moves;
+  lines_dead += other.lines_dead;
+  faults_at_death.merge(other.faults_at_death);
+  flips_per_write.merge(other.flips_per_write);
+  compressed_size.merge(other.compressed_size);
 }
 
 std::unique_ptr<HardErrorScheme> make_scheme(EccKind kind) {
@@ -170,7 +186,7 @@ void PcmSystem::mark_dead(std::uint64_t physical) {
 PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
   ++stats_.writes;
   const std::uint64_t physical = startgap_.map(logical);
-  const auto bank = static_cast<std::uint32_t>(physical % config_.banks);
+  const std::uint32_t bank = bank_of(physical, config_.banks);
   auto& info = lines_[physical];
 
   WriteOutcome out;
@@ -313,7 +329,7 @@ void PcmSystem::handle_gap_move(const StartGap::GapMove& move) {
                             ecc_meta_[move.from], faults);
   }
 
-  const auto bank = static_cast<std::uint32_t>(move.to % config_.banks);
+  const std::uint32_t bank = bank_of(move.to, config_.banks);
   auto& t = lines_[move.to];
   const bool was_dead = t.dead;
   if (was_dead && !config_.recycling_enabled()) {

@@ -84,6 +84,12 @@ struct SystemStats {
   RunningStat faults_at_death;            ///< stuck cells per line when it died (Fig 12)
   RunningStat flips_per_write;            ///< programmed bits per serviced write
   RunningStat compressed_size;            ///< bytes per compressed write
+
+  /// Exact merge of another system's stats into this one (counters sum, the
+  /// RunningStats combine via the parallel-variance formula). Merging the
+  /// per-shard stats of a sharded run in shard order yields one aggregate
+  /// that is independent of how many threads executed the shards.
+  void merge(const SystemStats& other);
 };
 
 class PcmSystem {

@@ -1,0 +1,261 @@
+// Sharded multi-tenant engine suite: thread-count determinism across the
+// shards x threads matrix, exact equivalence of the degenerate single-shard
+// engine against a plain PcmSystem, SystemStats::merge exactness, window
+// (epoch) partitioning invariance, finite-source handling, and the
+// registration/run contracts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "sim/sharded_engine.hpp"
+#include "trace/sampled_source.hpp"
+#include "trace/trace_source.hpp"
+#include "workload/app_profile.hpp"
+
+namespace pcmsim {
+namespace {
+
+/// Restores automatic worker-count selection when a test returns.
+struct ThreadGuard {
+  ~ThreadGuard() { set_parallel_threads(0); }
+};
+
+ShardedEngineConfig small_config(std::uint32_t shards, std::uint32_t tenants,
+                                 std::uint64_t seed) {
+  ShardedEngineConfig cfg;
+  cfg.shard_system.device.lines = 65;  // 64 logical lines + the Start-Gap spare
+  cfg.shard_system.device.endurance_mean = 60;  // low so lines actually die
+  cfg.shard_system.device.endurance_cov = 0.2;
+  cfg.map.channels = shards % 2 == 0 ? 2 : 1;
+  cfg.map.banks_per_channel = shards / cfg.map.channels;
+  cfg.tenants = tenants;
+  cfg.seed = seed;
+  cfg.queue_capacity = 256;  // small: forces several dispatch/execute epochs
+  cfg.tenant_batch = 64;
+  return cfg;
+}
+
+ShardedRunResult run_engine(const ShardedEngineConfig& cfg, std::uint64_t events) {
+  ShardedPcmEngine engine(cfg);
+  engine.add_sampled_tenants({profile_by_name("gcc"), profile_by_name("milc")});
+  return engine.run(events);
+}
+
+/// Finite source: `total` events round-robining the region with fixed data.
+class FiniteSource final : public TraceSource {
+ public:
+  FiniteSource(std::uint64_t total, std::uint64_t region_lines)
+      : total_(total), region_lines_(region_lines) {}
+
+  std::size_t next_batch(std::span<WritebackEvent> out) override {
+    std::size_t filled = 0;
+    while (filled < out.size() && events_ < total_) {
+      WritebackEvent& ev = out[filled++];
+      ev.line = events_ % region_lines_;
+      ev.data.fill(static_cast<std::uint8_t>(events_));
+      ++events_;
+    }
+    return filled;
+  }
+
+  [[nodiscard]] std::uint64_t events() const override { return events_; }
+  void reset() override { events_ = 0; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t region_lines_;
+  std::uint64_t events_ = 0;
+};
+
+TEST(ShardedEngine, DeterministicAcrossThreadsAndShards) {
+  // The headline property: byte-identical results at any worker count, for
+  // every shard geometry. 256-deep queues over 6000 events force several
+  // epochs, so the dispatch/execute overlap is genuinely exercised.
+  const ThreadGuard guard;
+  for (const std::uint32_t shards : {1u, 8u, 32u}) {
+    std::uint64_t reference = 0;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+      set_parallel_threads(threads);
+      const ShardedRunResult r = run_engine(small_config(shards, 8, 7), 6000);
+      EXPECT_EQ(r.events, 6000u);
+      if (threads == 1) {
+        reference = r.checksum;
+      } else {
+        EXPECT_EQ(r.checksum, reference)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, SingleShardMatchesMonolithicSystem) {
+  // With one shard and one tenant the engine degenerates to a plain
+  // PcmSystem fed by one SampledTraceSource: the address fold is the
+  // identity, so replaying the same derived seeds outside the engine must
+  // reproduce its stats bit-for-bit.
+  const ThreadGuard guard;
+  set_parallel_threads(3);
+  const std::uint64_t kSeed = 99;
+  const std::uint64_t kEvents = 4000;
+
+  ShardedEngineConfig cfg = small_config(1, 1, kSeed);
+  ShardedPcmEngine engine(cfg);
+  engine.add_sampled_tenants({profile_by_name("gcc")});
+  const std::uint64_t region = engine.tenant_region_lines();
+  const ShardedRunResult sharded = engine.run(kEvents);
+
+  SystemConfig sys = cfg.shard_system;
+  sys.seed = mix64(kSeed, 0, ShardedPcmEngine::kShardStartGapSalt);
+  sys.device.seed = mix64(kSeed, 0, ShardedPcmEngine::kShardEnduranceSalt);
+  PcmSystem mono(sys);
+  SampledTraceSource src(profile_by_name("gcc"), region,
+                         mix64(kSeed, ShardedPcmEngine::kTenantSeedSalt, 0));
+  TraceCursor cursor(src);
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    const WritebackEvent ev = cursor.next();
+    (void)mono.write(ev.line, ev.data);
+  }
+
+  const SystemStats& a = sharded.total;
+  const SystemStats& b = mono.stats();
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.compressed_writes, b.compressed_writes);
+  EXPECT_EQ(a.uncompressed_writes, b.uncompressed_writes);
+  EXPECT_EQ(a.dropped_writes, b.dropped_writes);
+  EXPECT_EQ(a.uncorrectable_events, b.uncorrectable_events);
+  EXPECT_EQ(a.window_slides, b.window_slides);
+  EXPECT_EQ(a.recycled_lines, b.recycled_lines);
+  EXPECT_EQ(a.gap_moves, b.gap_moves);
+  EXPECT_EQ(a.lines_dead, b.lines_dead);
+  EXPECT_EQ(a.flips_per_write.count(), b.flips_per_write.count());
+  EXPECT_DOUBLE_EQ(a.flips_per_write.sum(), b.flips_per_write.sum());
+  EXPECT_DOUBLE_EQ(a.flips_per_write.mean(), b.flips_per_write.mean());
+  EXPECT_DOUBLE_EQ(a.compressed_size.sum(), b.compressed_size.sum());
+}
+
+TEST(ShardedEngine, StatsMergeMatchesMonolithicAccumulation) {
+  // SystemStats::merge must behave as if one accumulator had seen both
+  // systems' samples: counters sum exactly; the RunningStats combine via the
+  // parallel-variance formula, which agrees with sequential Welford up to
+  // floating-point associativity.
+  SystemConfig sys_a;
+  sys_a.device.lines = 65;
+  sys_a.device.endurance_mean = 80;
+  sys_a.seed = 5;
+  sys_a.device.seed = 1005;
+  SystemConfig sys_b = sys_a;
+  sys_b.seed = 6;
+  sys_b.device.seed = 1006;
+
+  PcmSystem a(sys_a);
+  PcmSystem b(sys_b);
+  RunningStat ref_flips;
+  const auto drive = [&ref_flips](PcmSystem& system, std::uint64_t seed) {
+    SampledTraceSource src(profile_by_name("milc"), system.logical_lines(), seed);
+    TraceCursor cursor(src);
+    for (int i = 0; i < 3000; ++i) {
+      const WritebackEvent ev = cursor.next();
+      const auto out = system.write(ev.line, ev.data);
+      if (out.stored) ref_flips.add(static_cast<double>(out.flips));
+    }
+  };
+  drive(a, 21);
+  drive(b, 22);
+
+  SystemStats merged = a.stats();
+  merged.merge(b.stats());
+  EXPECT_EQ(merged.writes, a.stats().writes + b.stats().writes);
+  EXPECT_EQ(merged.lines_dead, a.stats().lines_dead + b.stats().lines_dead);
+  EXPECT_EQ(merged.recycled_lines, a.stats().recycled_lines + b.stats().recycled_lines);
+  EXPECT_EQ(merged.flips_per_write.count(), ref_flips.count());
+  EXPECT_NEAR(merged.flips_per_write.mean(), ref_flips.mean(),
+              1e-9 * ref_flips.mean());
+  EXPECT_NEAR(merged.flips_per_write.variance(), ref_flips.variance(),
+              1e-6 * ref_flips.variance());
+  EXPECT_DOUBLE_EQ(merged.flips_per_write.min(), ref_flips.min());
+  EXPECT_DOUBLE_EQ(merged.flips_per_write.max(), ref_flips.max());
+}
+
+TEST(ShardedEngine, EpochPartitioningDoesNotChangeModeledBehavior) {
+  // Queue capacity only decides where the epoch barriers fall; the per-shard
+  // event sequences — and everything modeled from them — must not move.
+  const ThreadGuard guard;
+  set_parallel_threads(2);
+  ShardedEngineConfig tight = small_config(8, 8, 11);
+  tight.queue_capacity = 128;
+  ShardedEngineConfig wide = small_config(8, 8, 11);
+  wide.queue_capacity = 1 << 20;
+
+  const ShardedRunResult t = run_engine(tight, 5000);
+  const ShardedRunResult w = run_engine(wide, 5000);
+  EXPECT_GT(t.epochs, w.epochs);
+  EXPECT_EQ(t.total.writes, w.total.writes);
+  EXPECT_EQ(t.total.lines_dead, w.total.lines_dead);
+  EXPECT_DOUBLE_EQ(t.total.flips_per_write.sum(), w.total.flips_per_write.sum());
+  ASSERT_EQ(t.shards.size(), w.shards.size());
+  for (std::size_t s = 0; s < t.shards.size(); ++s) {
+    EXPECT_EQ(t.shards[s].events, w.shards[s].events);
+    EXPECT_EQ(t.shards[s].busy_cycles, w.shards[s].busy_cycles);
+    EXPECT_EQ(t.shards[s].drained_at, w.shards[s].drained_at);
+  }
+  ASSERT_EQ(t.tenants.size(), w.tenants.size());
+  for (std::size_t i = 0; i < t.tenants.size(); ++i) {
+    EXPECT_EQ(t.tenants[i].writes, w.tenants[i].writes);
+    EXPECT_EQ(t.tenants[i].line_deaths, w.tenants[i].line_deaths);
+    EXPECT_EQ(t.tenants[i].writes_at_failure, w.tenants[i].writes_at_failure);
+  }
+}
+
+TEST(ShardedEngine, FiniteSourceRunsDryAndIsReported) {
+  const ThreadGuard guard;
+  set_parallel_threads(2);
+  ShardedEngineConfig cfg = small_config(8, 2, 13);
+  ShardedPcmEngine engine(cfg);
+  const std::uint64_t region = engine.tenant_region_lines();
+  engine.add_tenant(std::make_unique<FiniteSource>(500, region));
+  engine.add_sampled_tenants({profile_by_name("lbm")});
+
+  const ShardedRunResult r = engine.run(10000);
+  EXPECT_EQ(r.events, 10000u);
+  EXPECT_TRUE(r.tenants[0].exhausted);
+  EXPECT_EQ(r.tenants[0].writes, 500u);
+  EXPECT_FALSE(r.tenants[1].exhausted);
+  EXPECT_EQ(r.tenants[1].writes, 9500u);
+}
+
+TEST(ShardedEngine, AllSourcesDryEndsRunEarly) {
+  const ThreadGuard guard;
+  set_parallel_threads(1);
+  ShardedEngineConfig cfg = small_config(4, 1, 17);
+  ShardedPcmEngine engine(cfg);
+  engine.add_tenant(std::make_unique<FiniteSource>(300, engine.tenant_region_lines()));
+  const ShardedRunResult r = engine.run(10000);
+  EXPECT_EQ(r.events, 300u);
+  EXPECT_TRUE(r.tenants[0].exhausted);
+  EXPECT_EQ(r.total.writes, 300u);
+}
+
+TEST(ShardedEngine, RegistrationAndRunContracts) {
+  ShardedEngineConfig cfg = small_config(4, 2, 19);
+  ShardedPcmEngine engine(cfg);
+  engine.add_sampled_tenants({profile_by_name("gcc")});
+  // All slots filled: one more registration must be rejected.
+  EXPECT_THROW(engine.add_tenant(std::make_unique<FiniteSource>(
+                   10, engine.tenant_region_lines())),
+               ContractViolation);
+  (void)engine.run(200);
+  // An engine runs once: shard wear state is consumed.
+  EXPECT_THROW((void)engine.run(200), ContractViolation);
+
+  // run() before every tenant slot is filled is a contract violation too.
+  ShardedPcmEngine unfilled(cfg);
+  unfilled.add_tenant(std::make_unique<FiniteSource>(10, unfilled.tenant_region_lines()));
+  EXPECT_THROW((void)unfilled.run(100), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcmsim
