@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "ecc/registry.hpp"
 #include "sim/experiments.hpp"
 
 using namespace pcmsim;
@@ -21,7 +22,16 @@ int main(int argc, char** argv) {
   const auto scale = ExperimentScale::from_flag(args.get_bool("fast") ? "fast" : "default");
 
   const std::vector<std::string> apps = {"cactusADM", "zeusmp", "milc", "gcc", "bzip2", "lbm"};
-  const std::vector<SystemMode> modes = {SystemMode::kBaseline, SystemMode::kCompWF};
+
+  // `--ecc <spec>` swaps the compressed lane's hard-error scheme (registry
+  // grammar); the Baseline reference lane always runs ECP-6, so the saving
+  // column stays comparable across schemes. Line-only schemes (SECDED) run
+  // their lane in Baseline mode since they cannot sit behind a window.
+  const std::string ecc_spec = args.get("ecc", "ecp6");
+  const SystemMode wf_mode = scheme_traits(ecc_spec).baseline_only
+                                 ? SystemMode::kBaseline
+                                 : SystemMode::kCompWF;
+  const std::vector<SystemMode> modes = {SystemMode::kBaseline, wf_mode};
 
   // Every (app, mode) run has fixed seeds and shares nothing — flatten the
   // grid into independent tasks.
@@ -32,6 +42,7 @@ int main(int argc, char** argv) {
     const auto mode = modes[i % modes.size()];
     LifetimeConfig lc;
     lc.system.mode = mode;
+    if (i % modes.size() == 1) lc.system.ecc_spec = ecc_spec;
     lc.system.device.lines = scale.physical_lines;
     lc.system.device.endurance_mean = scale.endurance_mean;
     lc.system.device.endurance_cov = scale.endurance_cov;

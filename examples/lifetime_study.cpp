@@ -16,6 +16,9 @@
 //                      byte-identical stream, lower decode latency)
 //   --prefetch         fill trace batches on a background thread, overlapping
 //                      generation/decode with write execution
+//   --ecc SPEC         hard-error scheme by registry spec ("ecp6", "bch-t6",
+//                      "coset-w4", ... — see ecc/registry.hpp); the scheme's
+//                      traits prune the mode list to legal combinations
 //
 // `--profile` appends the write-path stage counters (trace-gen, compress,
 // heuristic, place, program, ECC, gap-move) as JSON, attributing the run's
@@ -133,6 +136,14 @@ int main(int argc, char** argv) {
   lc.system.device.endurance_cov = args.get_double("cov", 0.15);
   lc.max_writes = 4'000'000'000ull;
 
+  // `--ecc <spec>` swaps the hard-error scheme (ECC registry grammar). The
+  // scheme's traits prune the mode list to legal combinations: line-only
+  // codes (SECDED) run Baseline alone; slack-consuming word codes (coset)
+  // need compression and drop the Baseline row.
+  const std::string ecc_spec = args.get("ecc", "ecp6");
+  const SchemeTraits ecc_traits = scheme_traits(ecc_spec);
+  lc.system.ecc_spec = ecc_spec;
+
   const std::string trace_path = args.get("trace", "");
   const std::string source_kind = args.get("source", "sampled");
   const std::string decode_kind = args.get("decode", "serial");
@@ -151,12 +162,21 @@ int main(int argc, char** argv) {
     std::cout << "Source: legacy TraceGenerator (calibration oracle)\n";
   }
   if (lc.prefetch) std::cout << "Prefetch: background batch fill enabled\n";
+  if (ecc_spec != "ecp6") {
+    std::cout << "ECC: " << ecc_spec << " (guarantees " << ecc_traits.guaranteed_correctable
+              << " faults in " << ecc_traits.metadata_bits << " metadata bits)\n";
+  }
 
   // The four system configurations are independent runs on the same seeds —
   // simulate them concurrently, then print in the paper's order. Each run
   // constructs its own source so the streams are identical across modes.
-  const std::vector<SystemMode> modes = {SystemMode::kBaseline, SystemMode::kComp,
-                                         SystemMode::kCompW, SystemMode::kCompWF};
+  std::vector<SystemMode> modes = {SystemMode::kBaseline, SystemMode::kComp,
+                                   SystemMode::kCompW, SystemMode::kCompWF};
+  if (ecc_traits.baseline_only) {
+    modes = {SystemMode::kBaseline};
+  } else if (ecc_traits.requires_compression) {
+    modes = {SystemMode::kComp, SystemMode::kCompW, SystemMode::kCompWF};
+  }
   std::mutex log_m;
   const auto results = parallel_map(modes, [&](const SystemMode mode) {
     {
@@ -190,7 +210,8 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(r.mean_faults_at_death, 1),
                    TablePrinter::fmt(r.mean_flips_per_write, 1)});
   }
-  table.print(std::cout, "Lifetime comparison — " + app.name);
+  table.print(std::cout, "Lifetime comparison — " + app.name +
+                             (ecc_spec == "ecp6" ? "" : " (" + ecc_spec + ")"));
   std::cout << "Paper (Fig 10): Comp can shorten lifetime for volatile/low-CR apps;\n"
             << "Comp+W never hurts; Comp+WF is best and grows with compressibility.\n";
   if (prof::enabled()) {

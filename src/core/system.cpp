@@ -4,11 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/profiler.hpp"
+#include "compression/word_scan.hpp"
 #include "core/address_map.hpp"
-#include "ecc/aegis.hpp"
-#include "ecc/ecp.hpp"
-#include "ecc/safer.hpp"
-#include "ecc/secded.hpp"
 
 namespace pcmsim {
 
@@ -37,17 +34,6 @@ void SystemStats::merge(const SystemStats& other) {
   compressed_size.merge(other.compressed_size);
 }
 
-std::unique_ptr<HardErrorScheme> make_scheme(EccKind kind) {
-  switch (kind) {
-    case EccKind::kEcp6: return std::make_unique<EcpScheme>(6);
-    case EccKind::kSafer32: return std::make_unique<SaferScheme>(32);
-    case EccKind::kAegis17x31: return std::make_unique<AegisScheme>(17, 31);
-    case EccKind::kSecded: return std::make_unique<SecdedScheme>();
-  }
-  expects(false, "unknown ECC kind");
-  return nullptr;
-}
-
 namespace {
 
 /// The paper's 16-bit bank counter is calibrated against 1e7-cycle cells.
@@ -71,14 +57,19 @@ PcmSystem::PcmSystem(const SystemConfig& config)
       startgap_(config.device.lines - 1, config.gap_interval, config.startgap_randomize,
                 config.seed),
       rotator_(config.banks, auto_rotation_threshold(config), config.rotation_step_bytes),
-      scheme_(make_scheme(config.ecc)),
+      scheme_(make_scheme(config.resolved_ecc_spec())),
       placer_(*scheme_),
       lines_(config.device.lines) {
   expects(config.device.lines >= 2, "need at least one logical line plus the gap");
   expects(config.dead_capacity_fraction > 0 && config.dead_capacity_fraction <= 1,
           "dead capacity fraction must be in (0,1]");
-  expects(config.ecc != EccKind::kSecded || config.mode == SystemMode::kBaseline,
-          "SECDED protects whole lines only; use it with the Baseline mode");
+  const SchemeTraits traits = scheme_->traits();
+  word_mode_ = traits.granularity == SchemeGranularity::kWord;
+  expects(!traits.baseline_only || config.mode == SystemMode::kBaseline,
+          "scheme protects whole lines only; use it with the Baseline mode");
+  expects(!traits.requires_compression || config.compression_enabled(),
+          "word-granularity scheme consumes compression slack; "
+          "use it with a compression-enabled mode");
   if (config.functional_verify) ecc_meta_.assign(config.device.lines, 0);
 }
 
@@ -163,6 +154,38 @@ std::optional<PcmSystem::PlacedWrite> PcmSystem::try_store(std::uint64_t physica
   return try_store_with(physical, bank, [&image] { return image; }, size_bytes);
 }
 
+std::optional<PcmSystem::PlacedWrite> PcmSystem::try_store_words(
+    std::uint64_t physical, const Block& data, std::span<const std::uint8_t> word_content) {
+  // The whole line is the (non-sliding) protected unit; the scheme's encode
+  // runs in both modes because the programmed image *is* the in-place encoded
+  // one — flip and energy accounting must see it, not the raw data.
+  std::size_t flips = 0;
+  WindowFaultBuffer fault_buf;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    {
+      const prof::ScopedStage stage(prof::Stage::kPlace);
+      if (!placer_.fits(array_, physical, 0, kBlockBytes, word_content)) return std::nullopt;
+    }
+    const auto faults = window_faults_into(array_, physical, 0, kBlockBytes, fault_buf);
+    std::optional<HardErrorScheme::EncodeResult> enc;
+    {
+      const prof::ScopedStage stage(prof::Stage::kEcc);
+      enc = scheme_->encode(data, kBlockBits, faults);
+    }
+    if (!enc) return std::nullopt;
+    const auto res = write_window_segments(
+        physical, 0, std::span<const std::uint8_t>(enc->image), kBlockBytes);
+    flips += res.flips;
+    if (!res.new_faults) {
+      if (config_.functional_verify) ecc_meta_[physical] = enc->meta;
+      return PlacedWrite{0, flips};
+    }
+    // A cell died while programming: re-check the slack fit and re-encode
+    // (the coset/flip choice may have to change for the newborn fault).
+  }
+  return std::nullopt;
+}
+
 void PcmSystem::mark_dead(std::uint64_t physical) {
   auto& info = lines_[physical];
   if (!info.dead) {
@@ -200,6 +223,61 @@ PcmSystem::WriteOutcome PcmSystem::write(LineAddr logical, const Block& data) {
       return out;
     }
     info.recycle_epoch = epoch;
+  }
+
+  // --- Word-granularity schemes: in-place encoded store --------------------
+  // The compression scan contributes per-word slack (don't-care bits) rather
+  // than a packed window; the line never slides and is stored full-size.
+  if (word_mode_) {
+    std::array<std::uint8_t, kBlockBits / 32> content;
+    {
+      const prof::ScopedStage stage(prof::Stage::kCompress);
+      const WordClassScan scan = scan_block(data);
+      scheme_->word_content_bits(scan, content);
+    }
+    const auto placed = try_store_words(physical, data, content);
+    if (!placed) {
+      const bool was_dead = info.dead;
+      mark_dead(physical);
+      out.line_died = !was_dead;
+      return out;
+    }
+    if (info.dead) {
+      info.dead = false;
+      if (info.counted_dead) {
+        info.counted_dead = false;
+        --stats_.lines_dead;
+      }
+      ++stats_.recycled_lines;
+    }
+    info.ever_written = true;
+    info.start_byte = 0;
+    // Not `compressed` in the packed-window sense: the scheme's decode alone
+    // reconstructs the data, no separate decompressor pass.
+    info.compressed = false;
+    info.size_bytes = kBlockBytes;
+    info.encoding = pack_encoding(CompressionScheme::kNone, 0);
+
+    out.stored = true;
+    out.start_byte = 0;
+    out.size_bytes = kBlockBytes;
+    out.flips = placed->flips;
+
+    // Stats: report the encoded content footprint as the compressed size so
+    // the scheme-by-workload matrix shows the slack the coding extracted.
+    std::size_t content_bits = 0;
+    for (const auto c : content) content_bits += c;
+    if (content_bits < kBlockBits) {
+      ++stats_.compressed_writes;
+      stats_.compressed_size.add(static_cast<double>((content_bits + 7) / 8));
+    } else {
+      ++stats_.uncompressed_writes;
+    }
+    stats_.flips_per_write.add(static_cast<double>(placed->flips));
+
+    if (const auto move = startgap_.on_write()) handle_gap_move(*move);
+    if (config_.rotation_enabled()) rotator_.on_write(bank);
+    return out;
   }
 
   // --- Compression decision (Fig 8), phase 1 only -------------------------

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/profiler.hpp"
@@ -24,7 +25,7 @@
 #include "core/heuristic.hpp"
 #include "core/line_meta.hpp"
 #include "core/window.hpp"
-#include "ecc/scheme.hpp"
+#include "ecc/registry.hpp"
 #include "pcm/array.hpp"
 #include "wear/rotation.hpp"
 #include "wear/start_gap.hpp"
@@ -41,12 +42,14 @@ enum class SystemMode : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(SystemMode m);
 
-/// Which hard-error scheme protects each line.
-enum class EccKind : std::uint8_t { kEcp6, kSafer32, kAegis17x31, kSecded };
-
 struct SystemConfig {
   SystemMode mode = SystemMode::kCompWF;
+  /// Deprecated compat shim: consulted only while `ecc_spec` is empty.
   EccKind ecc = EccKind::kEcp6;
+  /// Hard-error scheme spec resolved through the ECC registry ("ecp6",
+  /// "bch-t2", "coset-w4", ... — see ecc/registry.hpp). Takes precedence
+  /// over the legacy `ecc` enum when non-empty.
+  std::string ecc_spec;
   PcmDeviceConfig device;         ///< device.lines = physical lines (incl. gap)
   std::uint32_t banks = 8;        ///< Table II: 2 channels x 1 rank x 4 banks
   std::uint64_t gap_interval = 100;
@@ -69,6 +72,11 @@ struct SystemConfig {
     return mode == SystemMode::kCompWF && heuristic.enabled;
   }
   [[nodiscard]] bool recycling_enabled() const { return mode == SystemMode::kCompWF; }
+
+  /// The scheme spec this config selects (ecc_spec, else the legacy enum).
+  [[nodiscard]] std::string resolved_ecc_spec() const {
+    return ecc_spec.empty() ? std::string(canonical_spec(ecc)) : ecc_spec;
+  }
 };
 
 struct SystemStats {
@@ -142,6 +150,13 @@ class PcmSystem {
                                        std::span<const std::uint8_t> image,
                                        std::uint8_t size_bytes);
 
+  /// Word-granularity store path (SchemeGranularity::kWord schemes): the
+  /// whole line is encoded in place through the scheme, with `word_content`
+  /// (per-u32 content bits from the compression scan) telling the placement
+  /// check which stuck cells fall into compression slack.
+  std::optional<PlacedWrite> try_store_words(std::uint64_t physical, const Block& data,
+                                             std::span<const std::uint8_t> word_content);
+
   /// try_store generalized over a deferred image: placement runs on
   /// `size_bytes` alone and `image_of()` is first invoked only when a window
   /// has been found and is about to be programmed — this is what lets the
@@ -198,10 +213,8 @@ class PcmSystem {
   WindowPlacer placer_;
   std::vector<LineMeta> lines_;           // indexed by physical line
   std::vector<std::uint64_t> ecc_meta_;   // functional mode: per-line scheme metadata
+  bool word_mode_ = false;                // scheme granularity == kWord
   SystemStats stats_;
 };
-
-/// Builds the scheme selected by `kind`.
-[[nodiscard]] std::unique_ptr<HardErrorScheme> make_scheme(EccKind kind);
 
 }  // namespace pcmsim

@@ -78,10 +78,17 @@ std::size_t window_stuck_from_prefix(std::span<const std::uint16_t> prefix,
 
 bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t start,
                         std::uint8_t size_bytes) const {
+  return fits(array, line, start, size_bytes, {});
+}
+
+bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t start,
+                        std::uint8_t size_bytes,
+                        std::span<const std::uint8_t> word_content) const {
   // O(1) fast path: a window can hold at most the line's total stuck cells,
   // and every implemented scheme tolerates any pattern of up to
   // guaranteed_correctable() faults — the common zero/low-fault line never
-  // scans a single window word.
+  // scans a single window word. (The guarantee is data-independent, so the
+  // fast paths stay valid in the slack-aware case too.)
   const std::size_t line_stuck = array.data_stuck_count(line);
   if (line_stuck <= scheme_->guaranteed_correctable()) return true;
   const std::size_t stuck =
@@ -89,7 +96,8 @@ bool WindowPlacer::fits(const PcmArray& array, std::size_t line, std::uint8_t st
   if (stuck <= scheme_->guaranteed_correctable()) return true;
   WindowFaultBuffer buf;
   const auto faults = window_faults_into(array, line, start, size_bytes, buf);
-  return scheme_->can_tolerate(faults, static_cast<std::size_t>(size_bytes) * 8);
+  return scheme_->can_tolerate_with(faults, static_cast<std::size_t>(size_bytes) * 8,
+                                    word_content);
 }
 
 std::optional<std::uint8_t> WindowPlacer::find(const PcmArray& array, std::size_t line,

@@ -73,6 +73,13 @@ class WindowPlacer {
   [[nodiscard]] bool fits(const PcmArray& array, std::size_t line, std::uint8_t start,
                           std::uint8_t size_bytes) const;
 
+  /// Slack-aware fits: `word_content[i]` is the number of content bits in u32
+  /// cell i of the window (word-granularity schemes treat the remainder as
+  /// don't-cares). Empty span == the data-independent overload above.
+  [[nodiscard]] bool fits(const PcmArray& array, std::size_t line, std::uint8_t start,
+                          std::uint8_t size_bytes,
+                          std::span<const std::uint8_t> word_content) const;
+
   /// Finds a start position per the slide policy, trying `preferred` first.
   [[nodiscard]] std::optional<std::uint8_t> find(const PcmArray& array, std::size_t line,
                                                  std::uint8_t size_bytes,

@@ -1,0 +1,235 @@
+#include "ecc/coset.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "compression/fpc.hpp"
+#include "compression/word_scan.hpp"
+
+namespace pcmsim {
+
+namespace {
+
+/// In-place payload bits per FPC class. Differs from the stream format only
+/// for zero cells: there is no run folding in place, so a zero cell needs no
+/// payload at all (the tag alone says "this cell is 0").
+unsigned inplace_payload_bits(FpcPattern p) {
+  switch (p) {
+    case FpcPattern::kZeroRun: return 0;
+    case FpcPattern::kSign4: return 4;
+    case FpcPattern::kSign8: return 8;
+    case FpcPattern::kSign16: return 16;
+    case FpcPattern::kHighHalfZeroPad: return 16;
+    case FpcPattern::kTwoSignedBytes: return 16;
+    case FpcPattern::kRepeatedByte: return 8;
+    case FpcPattern::kUncompressed: return 32;
+  }
+  return 32;
+}
+
+std::uint32_t inplace_payload(FpcPattern p, std::uint32_t word) {
+  switch (p) {
+    case FpcPattern::kZeroRun: return 0;
+    case FpcPattern::kSign4: return word & 0xFu;
+    case FpcPattern::kSign8: return word & 0xFFu;
+    case FpcPattern::kSign16: return word & 0xFFFFu;
+    case FpcPattern::kHighHalfZeroPad: return word >> 16;
+    case FpcPattern::kTwoSignedBytes: return (word & 0xFFu) | (((word >> 16) & 0xFFu) << 8);
+    case FpcPattern::kRepeatedByte: return word & 0xFFu;
+    case FpcPattern::kUncompressed: return word;
+  }
+  return word;
+}
+
+std::uint32_t sign_extend32(std::uint32_t v, unsigned bits) {
+  const std::uint32_t mask = (1u << bits) - 1;
+  std::uint32_t x = v & mask;
+  if (x & (1u << (bits - 1))) x |= ~mask;
+  return x;
+}
+
+std::uint32_t inplace_reconstruct(FpcPattern p, std::uint32_t payload) {
+  switch (p) {
+    case FpcPattern::kZeroRun: return 0;
+    case FpcPattern::kSign4: return sign_extend32(payload, 4);
+    case FpcPattern::kSign8: return sign_extend32(payload, 8);
+    case FpcPattern::kSign16: return sign_extend32(payload, 16);
+    case FpcPattern::kHighHalfZeroPad: return (payload & 0xFFFFu) << 16;
+    case FpcPattern::kTwoSignedBytes:
+      return (sign_extend32(payload & 0xFFu, 8) & 0xFFFFu) |
+             ((sign_extend32((payload >> 8) & 0xFFu, 8) & 0xFFFFu) << 16);
+    case FpcPattern::kRepeatedByte: return (payload & 0xFFu) * 0x01010101u;
+    case FpcPattern::kUncompressed: return payload;
+  }
+  return payload;
+}
+
+std::uint32_t load_cell(std::span<const std::uint8_t> bytes, std::size_t cell) {
+  std::uint32_t w = 0;
+  std::memcpy(&w, bytes.data() + cell * 4, 4);
+  return w;
+}
+
+void store_cell(std::span<std::uint8_t> bytes, std::size_t cell, std::uint32_t w) {
+  std::memcpy(bytes.data() + cell * 4, &w, 4);
+}
+
+}  // namespace
+
+CosetScheme::CosetScheme(std::size_t word_bytes) : word_bytes_(word_bytes) {
+  expects(word_bytes == 4 || word_bytes == 8, "coset word granularity is 4 or 8 bytes");
+  name_ = "Coset-W" + std::to_string(word_bytes);
+}
+
+std::uint8_t CosetScheme::cell_content_bits(std::uint32_t word) {
+  const FpcPattern p = FpcCompressor::classify(word);
+  if (p == FpcPattern::kUncompressed) return 32;
+  return static_cast<std::uint8_t>(3 + inplace_payload_bits(p));
+}
+
+bool CosetScheme::can_tolerate(std::span<const FaultCell> faults,
+                               std::size_t window_bits) const {
+  const std::size_t word_bits = word_bytes_ * 8;
+  expects(window_bits >= word_bits && window_bits <= kBlockBits &&
+              window_bits % word_bits == 0,
+          "coset windows are whole words up to one line");
+  // Data-independent bound: the flip bit matches one stuck cell per word even
+  // when every cell is incompressible (no slack at all).
+  std::size_t prev_word = static_cast<std::size_t>(-1);
+  for (const auto& f : faults) {
+    const std::size_t w = f.pos / word_bits;
+    if (w == prev_word) return false;  // positions are strictly increasing
+    prev_word = w;
+  }
+  return true;
+}
+
+bool CosetScheme::can_tolerate_with(std::span<const FaultCell> faults,
+                                    std::size_t window_bits,
+                                    std::span<const std::uint8_t> word_content) const {
+  if (word_content.empty()) return can_tolerate(faults, window_bits);
+  const std::size_t word_bits = word_bytes_ * 8;
+  expects(word_content.size() >= window_bits / 32, "content span too small for window");
+  // Faults landing in a cell's slack region are free; at most one fault per
+  // word may hit encoded content (the flip bit covers it).
+  std::size_t prev_word = static_cast<std::size_t>(-1);
+  for (const auto& f : faults) {
+    if (f.pos >= window_bits) return false;
+    const std::size_t cell = f.pos / 32;
+    if ((f.pos % 32) >= word_content[cell]) continue;  // slack: don't-care
+    const std::size_t w = f.pos / word_bits;
+    if (w == prev_word) return false;
+    prev_word = w;
+  }
+  return true;
+}
+
+void CosetScheme::word_content_bits(const WordClassScan& scan,
+                                    std::span<std::uint8_t> out) const {
+  expects(out.size() >= scan.word_class.size(), "content output span too small");
+  for (std::size_t i = 0; i < scan.word_class.size(); ++i) {
+    const auto p = static_cast<FpcPattern>(scan.word_class[i]);
+    out[i] = p == FpcPattern::kUncompressed
+                 ? 32
+                 : static_cast<std::uint8_t>(3 + inplace_payload_bits(p));
+  }
+}
+
+std::optional<HardErrorScheme::EncodeResult> CosetScheme::encode(
+    std::span<const std::uint8_t> data, std::size_t window_bits,
+    std::span<const FaultCell> faults) const {
+  const std::size_t word_bits = word_bytes_ * 8;
+  const std::size_t cells = window_bits / 32;
+  const std::size_t cells_per_word = word_bytes_ / 4;
+
+  // Derive per-cell classes from the data itself; by the WordClassScan
+  // invariant this matches the phase-1 scan the placement check used.
+  std::array<FpcPattern, kBlockBits / 32> cls{};
+  std::array<std::uint8_t, kBlockBits / 32> content{};
+  for (std::size_t c = 0; c < cells; ++c) {
+    const std::uint32_t w = load_cell(data, c);
+    cls[c] = FpcCompressor::classify(w);
+    content[c] = cls[c] == FpcPattern::kUncompressed
+                     ? 32
+                     : static_cast<std::uint8_t>(3 + inplace_payload_bits(cls[c]));
+  }
+  if (!can_tolerate_with(faults, window_bits, {content.data(), cells})) return std::nullopt;
+
+  EncodeResult out;
+  out.image.resize(window_bits / 8);
+  std::uint64_t coded_mask = 0;
+  std::uint64_t flip_mask = 0;
+
+  // Pass 1: per-cell encoded content, slack bits pre-set to their stuck
+  // values (zero elsewhere) so the programmed image matches what the array
+  // will hold and slack cells cost no programming pulses.
+  std::array<std::uint32_t, kBlockBits / 32> enc{};
+  for (std::size_t c = 0; c < cells; ++c) {
+    const std::uint32_t w = load_cell(data, c);
+    if (cls[c] == FpcPattern::kUncompressed) {
+      enc[c] = w;
+    } else {
+      enc[c] = static_cast<std::uint32_t>(cls[c]) |
+               (inplace_payload(cls[c], w) << 3);
+      coded_mask |= 1ull << c;
+    }
+  }
+  for (const auto& f : faults) {
+    const std::size_t cell = f.pos / 32;
+    const unsigned bit = static_cast<unsigned>(f.pos % 32);
+    if (bit >= content[cell]) {
+      enc[cell] = (enc[cell] & ~(1u << bit)) |
+                  (static_cast<std::uint32_t>(f.stuck_value) << bit);
+    }
+  }
+
+  // Pass 2: pick each word's coset (flip bit) to match its at-most-one
+  // content-region fault, then store the (possibly inverted) content bits.
+  for (const auto& f : faults) {
+    const std::size_t cell = f.pos / 32;
+    const unsigned bit = static_cast<unsigned>(f.pos % 32);
+    if (bit >= content[cell]) continue;
+    const bool current = (enc[cell] >> bit) & 1u;
+    if (current != f.stuck_value) flip_mask |= 1ull << (f.pos / word_bits);
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    std::uint32_t v = enc[c];
+    if ((flip_mask >> (c / cells_per_word)) & 1u) {
+      // Invert content bits only: slack bits stay at their stuck/zero values
+      // (decode never reads them, and inverting them would cost programming).
+      const std::uint32_t m =
+          content[c] >= 32 ? ~0u : ((1u << content[c]) - 1u);
+      v ^= m;
+    }
+    store_cell(out.image, c, v);
+  }
+  out.meta = coded_mask | (flip_mask << cells);
+  return out;
+}
+
+InlineBytes CosetScheme::decode(std::span<const std::uint8_t> raw, std::size_t window_bits,
+                                std::uint64_t meta,
+                                std::span<const FaultCell> /*faults*/) const {
+  const std::size_t cells = window_bits / 32;
+  const std::size_t cells_per_word = word_bytes_ / 4;
+  InlineBytes out;
+  out.resize(window_bits / 8);
+  for (std::size_t c = 0; c < cells; ++c) {
+    const bool coded = (meta >> c) & 1u;
+    const bool flip = (meta >> (cells + c / cells_per_word)) & 1u;
+    // Undo the coset inversion on the whole cell; only content bits are read
+    // below, so inverting slack bits too is harmless.
+    const std::uint32_t v = load_cell(raw, c) ^ (flip ? ~0u : 0u);
+    if (!coded) {
+      store_cell(out, c, v);
+      continue;
+    }
+    const auto p = static_cast<FpcPattern>(v & 0x7u);
+    const unsigned pay = inplace_payload_bits(p);
+    const std::uint32_t payload = pay == 0 ? 0 : (v >> 3) & ((1u << pay) - 1u);
+    store_cell(out, c, inplace_reconstruct(p, payload));
+  }
+  return out;
+}
+
+}  // namespace pcmsim

@@ -1,0 +1,70 @@
+// Word-level restricted coset coding (after Seyedzadeh et al., "Enabling
+// Fine-Grain Restricted Coset Coding Through Word-Level Compression for PCM").
+//
+// Instead of packing the line into one compressed window, each 32-bit cell is
+// stored *in place* as [3-bit FPC tag][payload][slack bits]: compressible
+// cells (FPC classes) leave 13-29 upper bits free per cell, and those free
+// bits are don't-cares that absorb stuck cells at zero coding cost. On top,
+// every w-byte word carries one flip bit selecting between the word and its
+// complement (a 2-element coset), which matches any single stuck cell even in
+// fully incompressible words. The scheme therefore guarantees one fault per
+// word data-independently (16 faults per line for w=4 in the best case) and
+// tolerates unboundedly many faults that land in compression slack — a
+// word-granularity counterpart to the paper's line-granularity sliding
+// window, trading the compaction benefit for fine-grain don't-cares.
+//
+// Granularity is kWord: PcmSystem routes these lines through the word-slack
+// store path (full-line, non-sliding) and feeds the per-cell content sizes
+// from the phase-1 WordClassScan via word_content_bits().
+#pragma once
+
+#include <string>
+
+#include "ecc/scheme.hpp"
+
+namespace pcmsim {
+
+class CosetScheme final : public HardErrorScheme {
+ public:
+  /// `word_bytes` is the flip-bit granularity: 4 or 8 bytes per coset word.
+  explicit CosetScheme(std::size_t word_bytes = 4);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  /// Per-cell coded flags + per-word flip bits for a full 512-bit line.
+  [[nodiscard]] std::size_t metadata_bits() const override {
+    return kBlockBits / 32 + kBlockBits / (8 * word_bytes_);
+  }
+  [[nodiscard]] std::size_t guaranteed_correctable() const override { return 1; }
+  [[nodiscard]] bool can_tolerate(std::span<const FaultCell> faults,
+                                  std::size_t window_bits) const override;
+  [[nodiscard]] std::optional<EncodeResult> encode(
+      std::span<const std::uint8_t> data, std::size_t window_bits,
+      std::span<const FaultCell> faults) const override;
+  [[nodiscard]] InlineBytes decode(std::span<const std::uint8_t> raw,
+                                   std::size_t window_bits, std::uint64_t meta,
+                                   std::span<const FaultCell> faults) const override;
+
+  [[nodiscard]] SchemeTraits traits() const override {
+    SchemeTraits t = HardErrorScheme::traits();
+    t.granularity = SchemeGranularity::kWord;
+    t.composes_with_window = false;
+    t.requires_compression = true;
+    return t;
+  }
+
+  [[nodiscard]] bool can_tolerate_with(std::span<const FaultCell> faults,
+                                       std::size_t window_bits,
+                                       std::span<const std::uint8_t> word_content) const override;
+  void word_content_bits(const WordClassScan& scan,
+                         std::span<std::uint8_t> out) const override;
+
+  /// Content bits (tag + in-place payload) of one 32-bit cell holding `word`;
+  /// 32 for incompressible cells. Exposed for tests.
+  [[nodiscard]] static std::uint8_t cell_content_bits(std::uint32_t word);
+
+ private:
+  std::size_t word_bytes_;
+  std::string name_;
+};
+
+}  // namespace pcmsim

@@ -4,6 +4,24 @@
 
 namespace pcmsim {
 
+SchemeTraits HardErrorScheme::traits() const {
+  SchemeTraits t;
+  t.metadata_bits = metadata_bits();
+  t.guaranteed_correctable = guaranteed_correctable();
+  return t;
+}
+
+bool HardErrorScheme::can_tolerate_with(std::span<const FaultCell> faults,
+                                        std::size_t window_bits,
+                                        std::span<const std::uint8_t> /*word_content*/) const {
+  return can_tolerate(faults, window_bits);
+}
+
+void HardErrorScheme::word_content_bits(const WordClassScan& /*scan*/,
+                                        std::span<std::uint8_t> /*out*/) const {
+  expects(false, "scheme has no word-granularity slack seam");
+}
+
 InlineBytes apply_faults(std::span<const std::uint8_t> image, std::size_t window_bits,
                          std::span<const FaultCell> faults) {
   expects(image.size() * 8 >= window_bits, "image too small for window");

@@ -21,12 +21,41 @@
 
 namespace pcmsim {
 
+struct WordClassScan;  // compression/word_scan.hpp (word-granularity seam)
+
 /// One stuck-at cell: position within the protected window and latched value.
 struct FaultCell {
   std::uint16_t pos = 0;
   bool stuck_value = false;
 
   friend bool operator==(const FaultCell&, const FaultCell&) = default;
+};
+
+/// Protected-unit granularity of a scheme.
+enum class SchemeGranularity : std::uint8_t {
+  kLine,  ///< protects one (possibly sliding) window as a whole
+  kWord,  ///< protects fixed words in place, consuming per-word slack
+};
+
+/// Capability descriptor a scheme declares about itself. PcmSystem's
+/// constructor checks these instead of hard-coding per-scheme guards, and the
+/// registry snapshots them so benches can reason about a scheme (pick a legal
+/// mode, skip invalid combinations) without constructing it.
+struct SchemeTraits {
+  std::size_t metadata_bits = 0;          ///< == metadata_bits()
+  std::size_t guaranteed_correctable = 0; ///< == guaranteed_correctable()
+  SchemeGranularity granularity = SchemeGranularity::kLine;
+  /// Works on sub-line windows, i.e. composes with the paper's sliding
+  /// compression window. False for whole-line-only codes (SECDED, coset).
+  bool composes_with_window = true;
+  /// Only legal in SystemMode::kBaseline (e.g. SECDED: check bits cover the
+  /// full 512-bit line; a moving sub-window would invalidate them).
+  bool baseline_only = false;
+  /// Needs the compression scan's per-word slack to function — the system
+  /// must run with compression enabled (word-level restricted coset coding).
+  bool requires_compression = false;
+
+  friend bool operator==(const SchemeTraits&, const SchemeTraits&) = default;
 };
 
 class HardErrorScheme {
@@ -63,6 +92,28 @@ class HardErrorScheme {
   [[nodiscard]] virtual InlineBytes decode(std::span<const std::uint8_t> raw,
                                            std::size_t window_bits, std::uint64_t meta,
                                            std::span<const FaultCell> faults) const = 0;
+
+  /// Capability descriptor; the default derives it from the virtuals above
+  /// (line granularity, no restrictions). Schemes with placement or mode
+  /// restrictions override this.
+  [[nodiscard]] virtual SchemeTraits traits() const;
+
+  // --- Word-granularity slack seam (SchemeGranularity::kWord only) ---------
+
+  /// can_tolerate() refined with per-u32-cell content sizes: `word_content[i]`
+  /// is how many of cell i's 32 bits carry encoded content (the rest are
+  /// compression slack the scheme may treat as don't-cares). An empty span
+  /// means "content unknown" and must fall back to the data-independent
+  /// can_tolerate(). Line-granularity schemes ignore the span entirely.
+  [[nodiscard]] virtual bool can_tolerate_with(std::span<const FaultCell> faults,
+                                               std::size_t window_bits,
+                                               std::span<const std::uint8_t> word_content) const;
+
+  /// Fills `out[i]` with the content bits of u32 cell i implied by the
+  /// compression scan (phase-1 word classes). Only meaningful for word-
+  /// granularity schemes; the default throws.
+  virtual void word_content_bits(const WordClassScan& scan,
+                                 std::span<std::uint8_t> out) const;
 };
 
 /// Applies stuck-at faults to an image: what the array would actually hold.

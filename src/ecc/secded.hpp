@@ -20,6 +20,14 @@ class SecdedScheme final : public HardErrorScheme {
   [[nodiscard]] std::string_view name() const override { return "SECDED-72.64"; }
   [[nodiscard]] std::size_t metadata_bits() const override { return 64; }
   [[nodiscard]] std::size_t guaranteed_correctable() const override { return 1; }
+  /// Check bits span fixed 64-bit words of the whole line: no sub-line
+  /// windows, and only the Baseline (uncompressed, non-sliding) mode is legal.
+  [[nodiscard]] SchemeTraits traits() const override {
+    SchemeTraits t = HardErrorScheme::traits();
+    t.composes_with_window = false;
+    t.baseline_only = true;
+    return t;
+  }
   [[nodiscard]] bool can_tolerate(std::span<const FaultCell> faults,
                                   std::size_t window_bits) const override;
   [[nodiscard]] std::optional<EncodeResult> encode(

@@ -32,7 +32,8 @@ ExperimentScale ExperimentScale::from_flag(const std::string& which) {
 
 std::vector<LifetimeCell> run_lifetime_matrix(const std::vector<std::string>& apps,
                                               const std::vector<SystemMode>& modes,
-                                              const ExperimentScale& scale, EccKind ecc) {
+                                              const ExperimentScale& scale,
+                                              const std::string& ecc_spec) {
   struct CellSpec {
     std::string app;
     SystemMode mode;
@@ -55,7 +56,7 @@ std::vector<LifetimeCell> run_lifetime_matrix(const std::vector<std::string>& ap
         mix64(scale.seed, spec.app_index, static_cast<std::uint64_t>(spec.mode));
     LifetimeConfig lc;
     lc.system.mode = spec.mode;
-    lc.system.ecc = ecc;
+    lc.system.ecc_spec = ecc_spec;
     lc.system.device.lines = scale.physical_lines;
     lc.system.device.endurance_mean = scale.endurance_mean;
     lc.system.device.endurance_cov = scale.endurance_cov;

@@ -39,9 +39,17 @@ struct LifetimeCell {
 /// per thread-pool task. Every cell's RNG streams derive from
 /// mix64(scale.seed, app_index, mode), so results are bit-identical at any
 /// thread count. Progress lines go to stderr so table output stays clean.
+/// `ecc_spec` is a registry scheme spec (ecc/registry.hpp).
 [[nodiscard]] std::vector<LifetimeCell> run_lifetime_matrix(
     const std::vector<std::string>& apps, const std::vector<SystemMode>& modes,
-    const ExperimentScale& scale, EccKind ecc = EccKind::kEcp6);
+    const ExperimentScale& scale, const std::string& ecc_spec = "ecp6");
+
+/// Compat shim for pre-registry callers holding the deprecated EccKind.
+[[nodiscard]] inline std::vector<LifetimeCell> run_lifetime_matrix(
+    const std::vector<std::string>& apps, const std::vector<SystemMode>& modes,
+    const ExperimentScale& scale, EccKind ecc) {
+  return run_lifetime_matrix(apps, modes, scale, std::string(canonical_spec(ecc)));
+}
 
 /// Convenience: the result for (app, mode) in a matrix.
 [[nodiscard]] const LifetimeCell& matrix_cell(const std::vector<LifetimeCell>& cells,

@@ -12,7 +12,7 @@ namespace pcmsim {
 namespace {
 
 struct Case {
-  EccKind ecc;
+  const char* ecc;  ///< registry scheme spec (ecc/registry.hpp)
   SystemMode mode;
   const char* app;
   double endurance;
@@ -24,7 +24,7 @@ TEST_P(FunctionalSweep, ReadBackIsExactUnderWear) {
   const auto& param = GetParam();
   SystemConfig cfg;
   cfg.mode = param.mode;
-  cfg.ecc = param.ecc;
+  cfg.ecc_spec = param.ecc;
   cfg.device.lines = 48;
   cfg.device.endurance_mean = param.endurance;
   cfg.device.endurance_cov = 0.15;
@@ -71,18 +71,28 @@ INSTANTIATE_TEST_SUITE_P(
     SchemesAndModes, FunctionalSweep,
     ::testing::Values(
         // Every scheme on the full proposal, with wear.
-        Case{EccKind::kEcp6, SystemMode::kCompWF, "milc", 80},
-        Case{EccKind::kSafer32, SystemMode::kCompWF, "milc", 80},
-        Case{EccKind::kAegis17x31, SystemMode::kCompWF, "milc", 80},
+        Case{"ecp6", SystemMode::kCompWF, "milc", 80},
+        Case{"safer32", SystemMode::kCompWF, "milc", 80},
+        Case{"aegis17x31", SystemMode::kCompWF, "milc", 80},
         // Every mode on ECP-6.
-        Case{EccKind::kEcp6, SystemMode::kBaseline, "gcc", 100},
-        Case{EccKind::kEcp6, SystemMode::kComp, "gcc", 100},
-        Case{EccKind::kEcp6, SystemMode::kCompW, "gcc", 100},
+        Case{"ecp6", SystemMode::kBaseline, "gcc", 100},
+        Case{"ecp6", SystemMode::kComp, "gcc", 100},
+        Case{"ecp6", SystemMode::kCompW, "gcc", 100},
         // SECDED only protects whole lines (Baseline).
-        Case{EccKind::kSecded, SystemMode::kBaseline, "astar", 200},
+        Case{"secded", SystemMode::kBaseline, "astar", 200},
         // High-endurance smoke on the volatile workload (heuristic active).
-        Case{EccKind::kEcp6, SystemMode::kCompWF, "bzip2", 5000},
-        Case{EccKind::kAegis17x31, SystemMode::kCompWF, "zeusmp", 60}),
+        Case{"ecp6", SystemMode::kCompWF, "bzip2", 5000},
+        Case{"aegis17x31", SystemMode::kCompWF, "zeusmp", 60},
+        // Registry extensions: BCH-t erasure correction (10t metadata bits,
+        // 2t guaranteed) and word-level coset coding (consumes per-word
+        // compression slack, so it needs a compression-enabled mode).
+        Case{"ecp12", SystemMode::kCompWF, "milc", 80},
+        Case{"bch-t2", SystemMode::kCompWF, "milc", 80},
+        Case{"bch-t6", SystemMode::kCompWF, "milc", 80},
+        Case{"bch-t6", SystemMode::kCompW, "gcc", 100},
+        Case{"coset-w4", SystemMode::kCompWF, "milc", 80},
+        Case{"coset-w4", SystemMode::kComp, "gcc", 100},
+        Case{"coset-w8", SystemMode::kCompWF, "gcc", 100}),
     [](const ::testing::TestParamInfo<Case>& info) {
       std::string n = std::string(make_scheme(info.param.ecc)->name()) + "_" +
                       std::string(to_string(info.param.mode)) + "_" + info.param.app;
@@ -94,10 +104,26 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(FunctionalEcc, SecdedWithCompressionIsRejected) {
   SystemConfig cfg;
-  cfg.ecc = EccKind::kSecded;
+  cfg.ecc_spec = "secded";
   cfg.mode = SystemMode::kCompWF;
   cfg.device.lines = 8;
   EXPECT_THROW(PcmSystem sys(cfg), ContractViolation);
+}
+
+TEST(FunctionalEcc, CosetWithoutCompressionIsRejected) {
+  SystemConfig cfg;
+  cfg.ecc_spec = "coset-w4";
+  cfg.mode = SystemMode::kBaseline;
+  cfg.device.lines = 8;
+  EXPECT_THROW(PcmSystem sys(cfg), ContractViolation);
+}
+
+TEST(FunctionalEcc, LegacyEccKindStillSelectsTheSameScheme) {
+  SystemConfig cfg;
+  cfg.ecc = EccKind::kSafer32;  // deprecated enum path, no spec set
+  EXPECT_EQ(cfg.resolved_ecc_spec(), "safer32");
+  cfg.ecc_spec = "bch-t2";  // a non-empty spec wins over the enum
+  EXPECT_EQ(cfg.resolved_ecc_spec(), "bch-t2");
 }
 
 }  // namespace
