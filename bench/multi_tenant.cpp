@@ -18,6 +18,7 @@
 //   ./build/bench/multi_tenant --tenants 16 --events 20000 --expect_checksum <pinned>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -71,6 +72,14 @@ int main(int argc, char** argv) {
   cfg.tenant_batch = static_cast<std::size_t>(args.get_int("tenant_batch", 256));
   cfg.arrival_gap_cycles = static_cast<std::uint64_t>(args.get_int("gap_cycles", 16));
   cfg.prefetch = args.get_bool("prefetch");
+  // `--tier-kb N --tier-policy lru|silent|comp|dedup` fronts every shard with
+  // a content-aware DRAM tier (capacity is per shard). Off by default, which
+  // keeps the pre-tier pinned checksum byte-identical.
+  const auto tier_kb = static_cast<std::size_t>(args.get_int("tier-kb", 0));
+  if (tier_kb > 0) {
+    cfg.tier = FrontTierConfig::for_kb(
+        tier_kb, tier_policy_from_string(args.get("tier-policy", "lru")));
+  }
 
   ShardedPcmEngine engine(cfg);
   engine.add_sampled_tenants(apps);
@@ -114,6 +123,18 @@ int main(int argc, char** argv) {
             << "    \"mean_flips_per_write\": " << result.total.flips_per_write.mean() << ",\n"
             << "    \"mean_compressed_size\": " << result.total.compressed_size.mean() << "\n"
             << "  },\n"
+            << "  \"tier\": {\n"
+            << "    \"enabled\": " << (cfg.tier.enabled() ? "true" : "false") << ",\n"
+            << "    \"policy\": \"" << (cfg.tier.enabled() ? to_string(cfg.tier.policy)
+                                                           : std::string_view("off"))
+            << "\",\n"
+            << "    \"capacity_lines_per_shard\": " << cfg.tier.capacity_lines << ",\n"
+            << "    \"offered\": " << result.tier.offered << ",\n"
+            << "    \"absorbed\": " << result.tier.absorbed() << ",\n"
+            << "    \"silent_drops\": " << result.tier.silent_drops << ",\n"
+            << "    \"dedup_shares\": " << result.tier.dedup_shares << ",\n"
+            << "    \"evictions\": " << result.tier.evictions << "\n"
+            << "  },\n"
             << "  \"modeled_write_latency_cycles_mean\": " << lat.mean() << ",\n"
             << "  \"shard_utilization_mean\": " << util.mean() << ",\n"
             << "  \"shard_utilization_min\": " << util.min() << ",\n"
@@ -134,7 +155,8 @@ int main(int argc, char** argv) {
   for (std::size_t t = 0; t < result.tenants.size(); ++t) {
     const auto& row = result.tenants[t];
     std::cout << (t ? "," : "") << "\n    {\"app\": \"" << apps[t % apps.size()].name
-              << "\", \"writes\": " << row.writes << ", \"dropped\": " << row.dropped_writes
+              << "\", \"writes\": " << row.writes << ", \"absorbed\": " << row.absorbed_writes
+              << ", \"dropped\": " << row.dropped_writes
               << ", \"line_deaths\": " << row.line_deaths
               << ", \"writes_at_failure\": " << row.writes_at_failure
               << ", \"failed\": " << (row.failed ? "true" : "false") << "}";

@@ -49,6 +49,16 @@ using namespace pcmsim;
 
 namespace {
 
+/// Shared `--tier-kb N --tier-policy lru|silent|comp|dedup` parsing; returns
+/// a disabled config when the flags are absent, so every pre-tier invocation
+/// behaves (and checksums) exactly as before.
+FrontTierConfig tier_config_from_cli(const CliArgs& args) {
+  const auto tier_kb = static_cast<std::size_t>(args.get_int("tier-kb", 0));
+  if (tier_kb == 0) return {};
+  return FrontTierConfig::for_kb(tier_kb,
+                                 tier_policy_from_string(args.get("tier-policy", "lru")));
+}
+
 int run_multi_tenant(const CliArgs& args) {
   const auto tenants = static_cast<std::uint32_t>(args.get_int("tenants", 16));
   const auto shards = static_cast<std::uint32_t>(args.get_int("shards", 8));
@@ -64,6 +74,7 @@ int run_multi_tenant(const CliArgs& args) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   cfg.arrival_gap_cycles = static_cast<std::uint64_t>(args.get_int("gap_cycles", 16));
   cfg.prefetch = args.get_bool("prefetch");
+  cfg.tier = tier_config_from_cli(args);
 
   std::vector<AppProfile> apps;
   {
@@ -83,6 +94,10 @@ int run_multi_tenant(const CliArgs& args) {
             << " shards (" << cfg.map.channels << " channels x "
             << cfg.map.banks_per_channel << " banks), "
             << engine.tenant_region_lines() << " logical lines per tenant\n";
+  if (cfg.tier.enabled()) {
+    std::cout << "Front tier: " << cfg.tier.capacity_lines
+              << " lines/shard, policy " << to_string(cfg.tier.policy) << "\n";
+  }
 
   const auto events = static_cast<std::uint64_t>(args.get_int("events", 2'000'000));
   const ShardedRunResult result = engine.run(events);
@@ -98,14 +113,15 @@ int run_multi_tenant(const CliArgs& args) {
   }
   shard_table.print(std::cout, "Per-shard utilization");
 
-  TablePrinter tenant_table({"tenant", "app", "writes", "dropped", "line_deaths",
-                             "writes_to_failure"});
+  TablePrinter tenant_table({"tenant", "app", "writes", "absorbed", "dropped",
+                             "line_deaths", "writes_to_failure"});
   RunningStat life;
   for (std::size_t t = 0; t < result.tenants.size(); ++t) {
     const auto& row = result.tenants[t];
     if (row.failed) life.add(static_cast<double>(row.writes_at_failure));
     tenant_table.add_row({TablePrinter::fmt(t), std::string(apps[t % apps.size()].name),
                           TablePrinter::fmt(row.writes),
+                          TablePrinter::fmt(row.absorbed_writes),
                           TablePrinter::fmt(row.dropped_writes),
                           TablePrinter::fmt(row.line_deaths),
                           row.failed ? TablePrinter::fmt(row.writes_at_failure)
@@ -115,6 +131,10 @@ int run_multi_tenant(const CliArgs& args) {
   std::cout << "events: " << result.events << "  epochs: " << result.epochs
             << "  tenants_failed: " << life.count();
   if (life.count() > 0) std::cout << "  mean_writes_to_failure: " << life.mean();
+  if (cfg.tier.enabled()) {
+    std::cout << "  tier_absorbed: " << result.tier.absorbed() << "/"
+              << result.tier.offered;
+  }
   std::cout << "  checksum: " << result.checksum << "\n";
   return 0;
 }
@@ -152,6 +172,7 @@ int main(int argc, char** argv) {
   const TraceDecode decode =
       decode_kind == "parallel" ? TraceDecode::kParallel : TraceDecode::kSerial;
   lc.prefetch = args.get_bool("prefetch");
+  lc.tier = tier_config_from_cli(args);
 
   std::cout << "Workload: " << app.name << " (WPKI " << app.wpki << ", Table III CR "
             << app.table_cr << ", bucket " << to_string(app.bucket) << ")\n";
@@ -162,6 +183,11 @@ int main(int argc, char** argv) {
     std::cout << "Source: legacy TraceGenerator (calibration oracle)\n";
   }
   if (lc.prefetch) std::cout << "Prefetch: background batch fill enabled\n";
+  if (lc.tier.enabled()) {
+    std::cout << "Front tier: " << lc.tier.capacity_lines << " lines ("
+              << lc.tier.capacity_lines * kBlockBytes / 1024 << " KB), policy "
+              << to_string(lc.tier.policy) << "\n";
+  }
   if (ecc_spec != "ecp6") {
     std::cout << "ECC: " << ecc_spec << " (guarantees " << ecc_traits.guaranteed_correctable
               << " faults in " << ecc_traits.metadata_bits << " metadata bits)\n";
@@ -212,6 +238,31 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout, "Lifetime comparison — " + app.name +
                              (ecc_spec == "ecp6" ? "" : " (" + ecc_spec + ")"));
+  if (lc.tier.enabled()) {
+    // Lifetime amplification: offered write-backs the workload got through
+    // before PCM death, relative to the PCM-serviced count — what the DRAM
+    // tier buys on top of the compression/ECC machinery below it.
+    TablePrinter tier_table({"system", "offered", "absorbed", "absorb_%",
+                             "amplification", "tier_lat_cycles"});
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const auto& r = results[i];
+      const double absorbed_pct =
+          r.tier.offered > 0
+              ? 100.0 * static_cast<double>(r.tier.absorbed()) /
+                    static_cast<double>(r.tier.offered)
+              : 0.0;
+      const double amp = r.writes_to_failure > 0
+                             ? static_cast<double>(r.offered_writes) /
+                                   static_cast<double>(r.writes_to_failure)
+                             : 0.0;
+      tier_table.add_row({std::string(to_string(modes[i])),
+                          TablePrinter::fmt(r.offered_writes),
+                          TablePrinter::fmt(r.tier.absorbed()),
+                          TablePrinter::fmt(absorbed_pct, 1), TablePrinter::fmt(amp, 2),
+                          TablePrinter::fmt(r.tier_write_latency_cycles, 1)});
+    }
+    tier_table.print(std::cout, "Front tier — " + std::string(to_string(lc.tier.policy)));
+  }
   std::cout << "Paper (Fig 10): Comp can shorten lifetime for volatile/low-CR apps;\n"
             << "Comp+W never hurts; Comp+WF is best and grows with compressibility.\n";
   if (prof::enabled()) {

@@ -8,6 +8,7 @@ std::string_view stage_name(Stage s) {
   switch (s) {
     case Stage::kTraceGen: return "trace_gen";
     case Stage::kTraceWait: return "trace_wait";
+    case Stage::kTierFilter: return "tier_filter";
     case Stage::kCompress: return "compress";
     case Stage::kHeuristic: return "heuristic";
     case Stage::kPlace: return "place";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "trace/prefetch_source.hpp"
@@ -24,8 +25,20 @@ LifetimeResult run_lifetime_on(PcmSystem& system, TraceSource& source,
 
   LifetimeResult result;
   bool exhausted = false;
-  while (!result.reached_failure && !exhausted && system.stats().writes < config.max_writes) {
-    const std::uint64_t remaining = config.max_writes - system.stats().writes;
+  std::optional<FrontTier> tier;
+  if (config.tier.enabled()) {
+    tier.emplace(config.tier, [&system, logical_lines](const FrontTier::Forward& fwd) {
+      (void)system.write(fwd.line % logical_lines, fwd.data);
+    });
+  }
+  // With a tier, max_writes caps *offered* write-backs (the workload-facing
+  // traffic) rather than PCM-serviced writes; without one the two counters
+  // are the same stream, and polling the offered count keeps this loop
+  // byte-identical to the pre-tier simulator (PcmSystem::write bumps
+  // stats().writes unconditionally, even for writes a dead region rejects).
+  std::uint64_t offered = 0;
+  while (!result.reached_failure && !exhausted && offered < config.max_writes) {
+    const std::uint64_t remaining = config.max_writes - offered;
     const std::size_t want = static_cast<std::size_t>(
         std::min<std::uint64_t>(batch.size(), remaining));
     const std::size_t n = source.next_batch(std::span(batch.data(), want));
@@ -37,11 +50,27 @@ LifetimeResult run_lifetime_on(PcmSystem& system, TraceSource& source,
       // Folding keeps replayed captures valid on regions smaller than the one
       // they were recorded against; for synthetic sources the line is already
       // in range and the modulo is the identity.
-      (void)system.write(batch[i].line % logical_lines, batch[i].data);
-      if (system.stats().writes % config.check_interval == 0 && system.failed()) {
+      if (tier) {
+        (void)tier->put(batch[i].line % logical_lines, batch[i].data);
+      } else {
+        (void)system.write(batch[i].line % logical_lines, batch[i].data);
+      }
+      ++offered;
+      if (offered % config.check_interval == 0 && system.failed()) {
         result.reached_failure = true;
         break;
       }
+    }
+  }
+  // The tier is deliberately NOT flushed at end of run: lines still resident
+  // in DRAM at PCM death never cost PCM writes, and flushing into a failed
+  // region would only distort the failure-time statistics.
+  result.offered_writes = offered;
+  if (tier) {
+    tier->finish_timing();
+    result.tier = tier->stats();
+    if (const MemoryController* mc = tier->controller()) {
+      result.tier_write_latency_cycles = mc->write_latency().mean();
     }
   }
   // The polled check can miss a failure that lands between the last interval

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/system.hpp"
+#include "tier/front_tier.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/trace.hpp"
 
@@ -26,6 +27,12 @@ struct LifetimeConfig {
   /// the delivered stream is byte-identical either way (tests pin this), so
   /// this is purely a wall-clock knob.
   bool prefetch = false;
+  /// Content-aware DRAM front tier between the trace stream and PcmSystem
+  /// (tier/front_tier.hpp). Disabled by default (capacity_lines == 0), in
+  /// which case the run is byte-identical to the pre-tier simulator; when
+  /// enabled, write-backs are offered to the tier and only its evictions
+  /// reach PCM, so `max_writes` caps *offered* write-backs.
+  FrontTierConfig tier;
 };
 
 struct LifetimeResult {
@@ -40,6 +47,18 @@ struct LifetimeResult {
   double mean_compressed_size = 0.0;
   /// Mean programming energy per serviced write (pJ), SET/RESET pulse model.
   double energy_pj_per_write = 0.0;
+
+  // Front-tier accounting (meaningful only when config.tier is enabled; all
+  // zero otherwise — except offered_writes, which then equals
+  // writes_to_failure so lifetime-amplification ratios are uniform).
+  /// Write-backs offered by the workload until failure/cap. With a tier this
+  /// is the lifetime-amplification numerator: the tier absorbs part of the
+  /// stream, so PCM death (writes_to_failure counts PCM-serviced writes)
+  /// arrives after more offered traffic.
+  std::uint64_t offered_writes = 0;
+  FrontTierStats tier;  ///< absorbed/coalesced/forwarded counters
+  /// Modeled DRAM write latency of the tier (controller cycles, mean).
+  double tier_write_latency_cycles = 0.0;
 };
 
 class TraceSource;

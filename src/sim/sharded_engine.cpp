@@ -1,6 +1,7 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -29,6 +30,7 @@ struct TenantAcc {
   std::uint64_t dropped = 0;
   std::uint64_t deaths = 0;
   std::uint64_t flips = 0;
+  std::uint64_t absorbed = 0;  ///< write-backs the shard's front tier ate
 };
 
 struct ShardedPcmEngine::Shard {
@@ -41,6 +43,10 @@ struct ShardedPcmEngine::Shard {
   std::vector<ShardEvent> back;   ///< being filled by the dispatcher
   std::vector<TenantAcc> acc;
   std::uint64_t events = 0;
+  /// Optional per-shard front tier; its forward sink drives this shard's
+  /// controller + PcmSystem, so tier state is as shard-private as the rest.
+  std::optional<FrontTier> tier;
+  std::uint64_t cur_order = 0;  ///< order of the event being executed (sink arrival)
 };
 
 struct ShardedPcmEngine::Tenant {
@@ -71,6 +77,34 @@ ShardedPcmEngine::ShardedPcmEngine(const ShardedEngineConfig& config) : config_(
     shards_.emplace_back(sys, ctrl, config_.tenants);
     shards_.back().front.reserve(config_.queue_capacity + config_.tenant_batch);
     shards_.back().back.reserve(config_.queue_capacity + config_.tenant_batch);
+  }
+  if (config_.tier.enabled()) {
+    // Tiers are wired after the shard vector is final (reserve above) so the
+    // sink's captured Shard* stays valid for the engine's lifetime. The sink
+    // runs inside execute_shard, so everything it touches is shard-private.
+    FrontTierConfig tier_cfg = config_.tier;
+    // The engine passes its global dispatch order to put_at, so the tier's
+    // DRAM clock must tick at the engine's arrival pacing, not its own.
+    tier_cfg.arrival_gap_cycles = config_.arrival_gap_cycles;
+    for (Shard& s : shards_) {
+      Shard* sp = &s;
+      sp->tier.emplace(tier_cfg, [this, sp](const FrontTier::Forward& fwd) {
+        MemRequest req;
+        req.arrival_cycle = sp->cur_order * config_.arrival_gap_cycles;
+        req.is_read = false;
+        req.bank = 0;
+        sp->controller.submit(req);
+        const auto out = sp->system->write(fwd.line % sp->system->logical_lines(), fwd.data);
+        TenantAcc& acc = sp->acc[fwd.tag];
+        if (out.stored) {
+          ++acc.stored;
+          acc.flips += out.flips;
+        } else {
+          ++acc.dropped;
+        }
+        if (out.line_died) ++acc.deaths;
+      });
+    }
   }
   tenants_.reserve(config_.tenants);
 }
@@ -158,6 +192,23 @@ void ShardedPcmEngine::dispatch_window(std::uint64_t max_events) {
 }
 
 void ShardedPcmEngine::execute_shard(Shard& shard) {
+  if (shard.tier) {
+    // Tiered path: the event is offered to the shard's front tier at its
+    // global dispatch order (DRAM latency is charged by the tier's embedded
+    // controller); only evictions reach the bank model + PcmSystem, through
+    // the forward sink wired in the constructor. The victim a forward
+    // charges may belong to a different tenant than the event that evicted
+    // it — the Forward's tag carries the victim's last writer.
+    for (const ShardEvent& ev : shard.front) {
+      shard.cur_order = ev.order;
+      TenantAcc& acc = shard.acc[ev.tenant];
+      ++acc.writes;
+      const auto outcome = shard.tier->put_at(ev.order, ev.local, ev.data, ev.tenant);
+      if (outcome != FrontTier::Outcome::kInserted) ++acc.absorbed;
+    }
+    shard.events += shard.front.size();
+    return;
+  }
   for (const ShardEvent& ev : shard.front) {
     // Charge the DDR-style bank model first (queueing + turnaround on this
     // shard's bank), then execute the write against the shard's PcmSystem.
@@ -257,6 +308,16 @@ ShardedRunResult ShardedPcmEngine::run(std::uint64_t max_events) {
     row.utilization = row.drained_at > 0 ? static_cast<double>(row.busy_cycles) /
                                                static_cast<double>(row.drained_at)
                                          : 0.0;
+    if (s.tier) {
+      // Like run_lifetime, the tier is not flushed: lines still resident in
+      // DRAM at the end never cost PCM writes.
+      s.tier->finish_timing();
+      row.tier = s.tier->stats();
+      if (const MemoryController* mc = s.tier->controller()) {
+        row.tier_write_latency_mean = mc->write_latency().mean();
+      }
+      result.tier.merge(row.tier);
+    }
     result.total.merge(row.stats);
     result.shards.push_back(std::move(row));
   }
@@ -269,6 +330,7 @@ ShardedRunResult ShardedPcmEngine::run(std::uint64_t max_events) {
       row.dropped_writes += acc.dropped;
       row.line_deaths += acc.deaths;
       row.flips += acc.flips;
+      row.absorbed_writes += acc.absorbed;
     }
     row.exhausted = tenants_[t].exhausted;
   }
@@ -304,6 +366,24 @@ ShardedRunResult ShardedPcmEngine::run(std::uint64_t max_events) {
     fold(t.writes_at_failure);
     fold(t.failed ? 1 : 0);
     fold(t.exhausted ? 1 : 0);
+  }
+  // Tier observables join the digest only when the tier runs: a disabled-tier
+  // run folds exactly the same sequence as the pre-tier engine, so the pinned
+  // no-tier checksums survive unchanged.
+  if (config_.tier.enabled()) {
+    for (const ShardedShardResult& s : result.shards) {
+      fold(s.tier.offered);
+      fold(s.tier.hits);
+      fold(s.tier.silent_hits);
+      fold(s.tier.silent_drops);
+      fold(s.tier.inserts);
+      fold(s.tier.evictions);
+      fold(s.tier.dedup_shares);
+      fold(s.tier.fp_false_hits);
+      fold(s.tier.words_forwarded);
+      fold(s.tier.words_touched);
+    }
+    for (const ShardedTenantResult& t : result.tenants) fold(t.absorbed_writes);
   }
   result.checksum = h;
   return result;

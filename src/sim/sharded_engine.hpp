@@ -53,6 +53,7 @@
 #include "controller/controller.hpp"
 #include "core/address_map.hpp"
 #include "core/system.hpp"
+#include "tier/front_tier.hpp"
 #include "trace/trace_source.hpp"
 #include "workload/app_profile.hpp"
 
@@ -88,6 +89,13 @@ struct ShardedEngineConfig {
   std::uint32_t tenants = 16;
   /// Master seed; every per-shard and per-tenant stream derives from it.
   std::uint64_t seed = 1;
+  /// Optional content-aware DRAM front tier, instantiated once per shard
+  /// (capacity_lines is the per-shard payload budget). Disabled by default;
+  /// when disabled the run — and its pinned checksum — is byte-identical to
+  /// the tier-less engine. When enabled, each shard's tier sits between the
+  /// dispatch queue and the shard's controller+PcmSystem: only tier
+  /// evictions reach the bank, tagged with the tenant that last wrote them.
+  FrontTierConfig tier;
 };
 
 /// Cumulative per-tenant accounting, summed across shards in shard order.
@@ -103,6 +111,9 @@ struct ShardedTenantResult {
   std::uint64_t writes_at_failure = 0;
   bool failed = false;
   bool exhausted = false;  ///< finite source ran dry before the run ended
+  /// Write-backs the front tier absorbed for this tenant (tier runs only).
+  /// writes = stored + dropped + absorbed + lines still tier-resident at end.
+  std::uint64_t absorbed_writes = 0;
 };
 
 struct ShardedShardResult {
@@ -112,10 +123,13 @@ struct ShardedShardResult {
   std::uint64_t busy_cycles = 0;    ///< bank busy time (service bursts)
   std::uint64_t drained_at = 0;     ///< cycle the bank went idle
   double utilization = 0.0;         ///< busy / drained
+  FrontTierStats tier;              ///< this shard's tier counters (if enabled)
+  double tier_write_latency_mean = 0.0;  ///< modeled DRAM tier cycles
 };
 
 struct ShardedRunResult {
   SystemStats total;  ///< exact merge of every shard's stats (shard order)
+  FrontTierStats tier;  ///< exact sum of per-shard tier counters (shard order)
   std::vector<ShardedShardResult> shards;
   std::vector<ShardedTenantResult> tenants;
   std::uint64_t events = 0;  ///< total events dispatched

@@ -1,0 +1,384 @@
+#include "tier/front_tier.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+
+namespace pcmsim {
+
+std::string_view to_string(TierPolicy p) {
+  switch (p) {
+    case TierPolicy::kLru: return "lru";
+    case TierPolicy::kSilent: return "silent";
+    case TierPolicy::kComp: return "comp";
+    case TierPolicy::kDedup: return "dedup";
+  }
+  return "?";
+}
+
+TierPolicy tier_policy_from_string(std::string_view s) {
+  if (s == "lru") return TierPolicy::kLru;
+  if (s == "silent") return TierPolicy::kSilent;
+  if (s == "comp") return TierPolicy::kComp;
+  if (s == "dedup") return TierPolicy::kDedup;
+  expects(false, "tier policy must be lru, silent, comp, or dedup");
+  return TierPolicy::kLru;  // unreachable
+}
+
+ControllerConfig dram_tier_controller_config() {
+  ControllerConfig cfg;
+  cfg.banks = 1;  // the tier is one buffer, not a banked device
+  // DDR3-1600-flavoured service at the shared 400 MHz command clock: no PCM
+  // programming commit, so writes retire in a burst + write-recovery window
+  // instead of PCM's 60-cycle precharge.
+  cfg.timing.t_rdc = 20;
+  cfg.timing.t_rp = 6;
+  cfg.timing.t_cl = 5;
+  cfg.timing.t_wl = 4;
+  return cfg;
+}
+
+FrontTierConfig FrontTierConfig::for_kb(std::size_t kb, TierPolicy policy) {
+  FrontTierConfig cfg;
+  cfg.capacity_lines = kb * 1024 / kBlockBytes;
+  cfg.policy = policy;
+  return cfg;
+}
+
+std::uint64_t FrontTier::fingerprint(const Block& data) {
+  std::uint64_t h = 0x46504d5449455231ull;  // "FPMTIER1"
+  for (std::size_t i = 0; i < kBlockBytes; i += 8) {
+    h = mix64(h, load_le<std::uint64_t>(data, i));
+  }
+  return h;
+}
+
+FrontTier::FrontTier(const FrontTierConfig& config, ForwardSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  expects(config_.enabled(), "FrontTier requires capacity_lines > 0 (use the "
+                             "embedding seam's disabled default instead)");
+  expects(config_.ways >= 1, "tier needs at least one way");
+  expects(config_.capacity_lines >= config_.ways,
+          "tier capacity must hold at least one full set");
+  expects(sink_ != nullptr, "tier needs a forward sink");
+  sets_ = config_.capacity_lines / config_.ways;
+  tag_ways_ = config_.policy == TierPolicy::kDedup
+                  ? std::max(config_.dedup_tag_ways, config_.ways)
+                  : config_.ways;
+  tags_.resize(sets_ * tag_ways_);
+  payloads_.resize(sets_ * config_.ways);
+  if (config_.model_latency) controller_.emplace(config_.controller);
+}
+
+std::size_t FrontTier::set_of(LineAddr line) const {
+  // Hash the index so tenant-sliced (contiguous) address spaces spread
+  // across sets instead of aliasing set 0 per slice.
+  return static_cast<std::size_t>(mix64(line) % sets_);
+}
+
+FrontTier::TagEntry* FrontTier::find(std::size_t set, LineAddr line) {
+  TagEntry* base = tags_.data() + set * tag_ways_;
+  for (std::size_t w = 0; w < tag_ways_; ++w) {
+    if (base[w].valid && base[w].line == line) return base + w;
+  }
+  return nullptr;
+}
+
+const FrontTier::TagEntry* FrontTier::find(std::size_t set, LineAddr line) const {
+  return const_cast<FrontTier*>(this)->find(set, line);
+}
+
+std::size_t FrontTier::choose_victim(std::size_t set) const {
+  const TagEntry* base = tags_.data() + set * tag_ways_;
+  if (config_.policy == TierPolicy::kComp) {
+    // Compressibility-aware retention: among the least-recently-used half of
+    // the resident entries, evict the one whose payload compresses smallest
+    // (cheapest to rewrite in PCM); ties go to the older entry. Incompressible
+    // lines therefore survive roughly twice as long as plain LRU would keep
+    // them, at the same capacity.
+    std::vector<std::size_t> valid;
+    valid.reserve(tag_ways_);
+    for (std::size_t w = 0; w < tag_ways_; ++w) {
+      if (base[w].valid) valid.push_back(w);
+    }
+    std::sort(valid.begin(), valid.end(),
+              [&](std::size_t a, std::size_t b) { return base[a].lru < base[b].lru; });
+    const std::size_t half = (valid.size() + 1) / 2;
+    std::size_t best = valid[0];
+    const PayloadSlot* slots = payloads_.data() + set * config_.ways;
+    for (std::size_t i = 1; i < half; ++i) {
+      const std::size_t w = valid[i];
+      if (slots[base[w].payload].plan_size < slots[base[best].payload].plan_size) best = w;
+    }
+    return best;
+  }
+  std::size_t best = tag_ways_;
+  for (std::size_t w = 0; w < tag_ways_; ++w) {
+    if (!base[w].valid) continue;
+    if (best == tag_ways_ || base[w].lru < base[best].lru) best = w;
+  }
+  ensures(best != tag_ways_, "choose_victim called on an empty set");
+  return best;
+}
+
+void FrontTier::release_payload(std::size_t set, std::uint32_t slot) {
+  PayloadSlot& p = payloads_[set * config_.ways + slot];
+  ensures(p.refs > 0, "payload refcount underflow");
+  if (--p.refs == 0) --payloads_used_;
+}
+
+void FrontTier::evict(std::size_t set, std::size_t idx, bool count_as_flush) {
+  TagEntry& e = tags_[set * tag_ways_ + idx];
+  ensures(e.valid, "evicting an invalid tier entry");
+  const PayloadSlot& p = payloads_[set * config_.ways + e.payload];
+  Forward fwd;
+  fwd.line = e.line;
+  fwd.tag = e.tag;
+  fwd.data = p.data;
+  if (content_aware()) {
+    pcm_resident_[e.line] = ResidentLine{p.fp, p.data};
+    stats_.words_touched += static_cast<std::uint64_t>(std::popcount(e.touched));
+  } else {
+    stats_.words_touched += kBlockBytes / 4;  // content-blind: full line
+  }
+  stats_.words_forwarded += kBlockBytes / 4;
+  if (count_as_flush) {
+    ++stats_.flushes;
+  } else {
+    ++stats_.evictions;
+  }
+  release_payload(set, e.payload);
+  e.valid = false;
+  --resident_;
+  pending_.push_back(fwd);
+}
+
+void FrontTier::drain_forwards() {
+  // The sink (the PCM write path) may be arbitrarily heavy; it runs outside
+  // the kTierFilter profiler scope and outside the structure mutation, in
+  // eviction order.
+  for (const Forward& fwd : pending_) sink_(fwd);
+  pending_.clear();
+}
+
+FrontTier::SlotClaim FrontTier::claim_payload(std::size_t set, const Block& data,
+                                              std::uint64_t fp, std::uint8_t plan_size,
+                                              const TagEntry* keep) {
+  PayloadSlot* slots = payloads_.data() + set * config_.ways;
+  if (config_.policy == TierPolicy::kDedup) {
+    for (std::size_t s = 0; s < config_.ways; ++s) {
+      if (slots[s].refs == 0 || slots[s].fp != fp) continue;
+      if (std::memcmp(slots[s].data.data(), data.data(), kBlockBytes) == 0) {
+        ++slots[s].refs;
+        ++stats_.dedup_shares;
+        return SlotClaim{static_cast<std::uint32_t>(s), true};
+      }
+      ++stats_.fp_false_hits;
+    }
+  }
+  for (;;) {
+    for (std::size_t s = 0; s < config_.ways; ++s) {
+      if (slots[s].refs != 0) continue;
+      slots[s].data = data;
+      slots[s].fp = fp;
+      slots[s].plan_size = plan_size;
+      slots[s].refs = 1;
+      ++payloads_used_;
+      return SlotClaim{static_cast<std::uint32_t>(s), false};
+    }
+    // Every payload slot is referenced (possible only under kDedup's tag
+    // over-provisioning): evict LRU entries — never the one being updated —
+    // until a slot frees.
+    const TagEntry* base = tags_.data() + set * tag_ways_;
+    std::size_t victim = tag_ways_;
+    for (std::size_t w = 0; w < tag_ways_; ++w) {
+      if (!base[w].valid || base + w == keep) continue;
+      if (victim == tag_ways_ || base[w].lru < base[victim].lru) victim = w;
+    }
+    ensures(victim != tag_ways_, "tier payload slots exhausted with no evictable entry");
+    evict(set, victim);
+  }
+}
+
+void FrontTier::charge_latency(std::uint64_t order) {
+  if (!controller_) return;
+  MemRequest req;
+  req.arrival_cycle = order * config_.arrival_gap_cycles;
+  req.is_read = false;
+  req.bank = 0;
+  controller_->submit(req);
+}
+
+std::uint16_t FrontTier::touched_words(const Block& before, const Block& after) const {
+  std::uint16_t mask = 0;
+  for (std::size_t w = 0; w < kBlockBytes / 4; ++w) {
+    if (load_le<std::uint32_t>(before, w * 4) != load_le<std::uint32_t>(after, w * 4)) {
+      mask = static_cast<std::uint16_t>(mask | (1u << w));
+    }
+  }
+  return mask;
+}
+
+std::uint8_t FrontTier::probe_plan_size(const Block& data) const {
+  const auto size = compressor_.probe_size(data);
+  return static_cast<std::uint8_t>(size ? *size : kBlockBytes);
+}
+
+FrontTier::Outcome FrontTier::put(LineAddr line, const Block& data, std::uint32_t tag) {
+  return put_impl(stats_.offered, line, data, tag);
+}
+
+FrontTier::Outcome FrontTier::put_at(std::uint64_t order, LineAddr line, const Block& data,
+                                     std::uint32_t tag) {
+  expects(order >= last_order_, "tier arrival order must be non-decreasing");
+  return put_impl(order, line, data, tag);
+}
+
+FrontTier::Outcome FrontTier::put_impl(std::uint64_t order, LineAddr line, const Block& data,
+                                       std::uint32_t tag) {
+  ++stats_.offered;
+  last_order_ = order;
+  charge_latency(order);
+  Outcome out;
+  {
+    const prof::ScopedStage stage(prof::Stage::kTierFilter);
+    out = filter(line, data, tag);
+  }
+  drain_forwards();
+  return out;
+}
+
+FrontTier::Outcome FrontTier::filter(LineAddr line, const Block& data, std::uint32_t tag) {
+  const std::size_t set = set_of(line);
+  if (TagEntry* e = find(set, line)) {
+    // Hit: the write-back coalesces in DRAM. Content-aware policies compare
+    // payloads first so byte-identical rewrites don't even touch the stored
+    // copy (and are reported as silent hits).
+    ++stats_.hits;
+    e->lru = ++tick_;
+    e->tag = tag;
+    PayloadSlot& old = payloads_[set * config_.ways + e->payload];
+    if (content_aware()) {
+      const std::uint64_t fp = fingerprint(data);
+      if (old.fp == fp && std::memcmp(old.data.data(), data.data(), kBlockBytes) == 0) {
+        ++stats_.silent_hits;
+        return Outcome::kSilentHit;
+      }
+      e->touched = static_cast<std::uint16_t>(e->touched | touched_words(old.data, data));
+      const std::uint8_t psize = probe_plan_size(data);
+      if (config_.policy == TierPolicy::kDedup) {
+        release_payload(set, e->payload);
+        const SlotClaim claim = claim_payload(set, data, fp, psize, e);
+        e->payload = claim.slot;
+      } else {
+        old.data = data;
+        old.fp = fp;
+        old.plan_size = psize;
+      }
+    } else {
+      old.data = data;
+    }
+    return Outcome::kHit;
+  }
+
+  std::uint16_t touched = static_cast<std::uint16_t>((1u << (kBlockBytes / 4)) - 1);
+  std::uint64_t fp = 0;
+  if (content_aware()) {
+    fp = fingerprint(data);
+    // Silent/partial-store elimination: a miss whose payload matches what PCM
+    // already holds is dropped outright (fingerprint gate, then a verifying
+    // word compare); a partial overlap shrinks the entry's touched-word mask
+    // to the words that actually differ.
+    const auto it = pcm_resident_.find(line);
+    if (it != pcm_resident_.end()) {
+      if (it->second.fp == fp) {
+        if (std::memcmp(it->second.data.data(), data.data(), kBlockBytes) == 0) {
+          ++stats_.silent_drops;
+          return Outcome::kSilentDrop;
+        }
+        ++stats_.fp_false_hits;
+      }
+      touched = touched_words(it->second.data, data);
+    }
+  }
+
+  // Miss: allocate a tag entry (evicting the policy victim when the set is
+  // full), then attach a payload (shared under kDedup when an identical one
+  // is already resident).
+  TagEntry* base = tags_.data() + set * tag_ways_;
+  std::size_t idx = tag_ways_;
+  for (std::size_t w = 0; w < tag_ways_; ++w) {
+    if (!base[w].valid) {
+      idx = w;
+      break;
+    }
+  }
+  if (idx == tag_ways_) {
+    idx = choose_victim(set);
+    evict(set, idx);
+  }
+  const std::uint8_t psize = content_aware() ? probe_plan_size(data) : kBlockBytes;
+  const SlotClaim claim = claim_payload(set, data, fp, psize, nullptr);
+  TagEntry& e = tags_[set * tag_ways_ + idx];
+  e.line = line;
+  e.valid = true;
+  e.payload = claim.slot;
+  e.tag = tag;
+  e.lru = ++tick_;
+  e.touched = touched;
+  ++resident_;
+  ++stats_.inserts;
+  return Outcome::kInserted;
+}
+
+void FrontTier::flush() {
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (std::size_t w = 0; w < tag_ways_; ++w) {
+      if (tags_[set * tag_ways_ + w].valid) evict(set, w, /*count_as_flush=*/true);
+    }
+  }
+  drain_forwards();
+}
+
+std::optional<FrontTier::Forward> FrontTier::invalidate(LineAddr line) {
+  const std::size_t set = set_of(line);
+  TagEntry* e = find(set, line);
+  if (e == nullptr) return std::nullopt;
+  Forward fwd;
+  fwd.line = e->line;
+  fwd.tag = e->tag;
+  fwd.data = payloads_[set * config_.ways + e->payload].data;
+  release_payload(set, e->payload);
+  e->valid = false;
+  --resident_;
+  ++stats_.invalidates;
+  return fwd;
+}
+
+void FrontTier::finish_timing() {
+  if (controller_ && !sealed_) {
+    controller_->finish();
+    sealed_ = true;
+  }
+}
+
+bool FrontTier::contains(LineAddr line) const {
+  return find(set_of(line), line) != nullptr;
+}
+
+const Block* FrontTier::peek(LineAddr line) const {
+  const std::size_t set = set_of(line);
+  const TagEntry* e = find(set, line);
+  if (e == nullptr) return nullptr;
+  return &payloads_[set * config_.ways + e->payload].data;
+}
+
+const Block* FrontTier::pcm_resident(LineAddr line) const {
+  const auto it = pcm_resident_.find(line);
+  return it == pcm_resident_.end() ? nullptr : &it->second.data;
+}
+
+}  // namespace pcmsim
